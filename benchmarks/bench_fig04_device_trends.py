@@ -1,0 +1,57 @@
+"""Fig. 4 benchmark: leakage components vs. halo doping, oxide thickness, temperature."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig04 import run_fig4_device_trends
+
+
+def test_fig4a_halo_sweep(benchmark, bulk25):
+    result = run_once(
+        benchmark,
+        run_fig4_device_trends,
+        bulk25,
+        halo_values_cm3=list(np.linspace(1.0e18, 8.0e18, 8)),
+        tox_values_nm=[bulk25.nmos.tox_nm],
+        temperatures_k=[300.0],
+    )
+    print()
+    print(result.halo.to_table())
+    # Paper Fig. 4(a): halo up -> Isub down, Ibtbt up, Igate flat.
+    assert result.halo.subthreshold[-1] < result.halo.subthreshold[0]
+    assert result.halo.btbt[-1] > result.halo.btbt[0]
+
+
+def test_fig4b_tox_sweep(benchmark, bulk25):
+    result = run_once(
+        benchmark,
+        run_fig4_device_trends,
+        bulk25,
+        halo_values_cm3=[bulk25.nmos.btbt.halo_cm3],
+        tox_values_nm=list(np.linspace(0.8, 1.4, 7)),
+        temperatures_k=[300.0],
+    )
+    print()
+    print(result.tox.to_table())
+    # Paper Fig. 4(b): tox up -> Igate down (strongly), Isub up, Ibtbt flat.
+    assert result.tox.gate[-1] < result.tox.gate[0] / 10
+    assert result.tox.subthreshold[-1] > result.tox.subthreshold[0]
+
+
+def test_fig4c_temperature_sweep(benchmark, bulk25):
+    result = run_once(
+        benchmark,
+        run_fig4_device_trends,
+        bulk25,
+        halo_values_cm3=[bulk25.nmos.btbt.halo_cm3],
+        tox_values_nm=[bulk25.nmos.tox_nm],
+        temperatures_k=list(np.linspace(300.0, 400.0, 11)),
+    )
+    print()
+    print(result.temperature.to_table())
+    series = result.temperature
+    # Paper Fig. 4(c): subthreshold grows exponentially and overtakes the
+    # (nearly flat) gate tunneling at elevated temperature.
+    assert series.subthreshold[-1] / series.subthreshold[0] > 5
+    assert series.gate[-1] / series.gate[0] < 1.5
+    assert series.subthreshold[-1] > series.gate[-1]

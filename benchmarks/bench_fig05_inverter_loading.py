@@ -1,0 +1,32 @@
+"""Fig. 5 benchmark: inverter input/output loading effect per component."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig05 import run_fig5_inverter_loading
+
+
+def test_fig5_inverter_loading(benchmark, bulk25):
+    result = run_once(
+        benchmark,
+        run_fig5_inverter_loading,
+        bulk25,
+        loading_currents=tuple(np.linspace(0.0, 3.0e-6, 7)),
+    )
+    print()
+    print(result.to_table())
+
+    in0 = result.input_loading_in0.effects[-1]
+    out0 = result.output_loading_in0.effects[-1]
+    in1 = result.input_loading_in1.effects[-1]
+
+    # Paper Fig. 5(a): input loading raises subthreshold (dominant response),
+    # trims the gate component, leaves BTBT flat.
+    assert in0.subthreshold > 0 and in0.subthreshold > abs(in0.gate)
+    assert in0.gate < 0
+    assert abs(in0.btbt) < 0.5
+    # Paper Fig. 5(b): output loading reduces everything, BTBT the most.
+    assert out0.subthreshold < 0 and out0.gate < 0 and out0.btbt < 0
+    assert abs(out0.btbt) >= abs(out0.gate)
+    # Paper: total input-loading effect larger with input '0' than input '1'.
+    assert in0.total > in1.total

@@ -1,0 +1,25 @@
+"""Fig. 6 benchmark: LD_ALL surface over (input loading, output loading)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig06 import run_fig6_ldall_surface
+
+
+def test_fig6_ldall_surface(benchmark, bulk25):
+    result = run_once(
+        benchmark,
+        run_fig6_ldall_surface,
+        bulk25,
+        grid=tuple(np.linspace(0.0, 3.0e-6, 4)),
+    )
+    print()
+    print(result.to_table())
+
+    surface0 = result.input0
+    last = len(surface0.input_loading) - 1
+    # Paper Fig. 6: LD_ALL grows along the input-loading axis, shrinks along
+    # the output-loading axis, and is larger with input '0'.
+    assert surface0.value(last, 0) > surface0.value(0, 0)
+    assert surface0.value(0, last) < surface0.value(0, 0)
+    assert surface0.value(last, 0) > result.input1.value(last, 0)

@@ -1,0 +1,30 @@
+"""Fig. 7 benchmark: NAND2 loading effect per input vector."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig07 import run_fig7_nand_vectors
+
+
+def test_fig7_nand_vectors(benchmark, bulk25):
+    result = run_once(
+        benchmark,
+        run_fig7_nand_vectors,
+        bulk25,
+        loading_currents=tuple(np.linspace(0.0, 3.0e-6, 5)),
+    )
+    print()
+    print(result.to_table())
+
+    # Paper Fig. 7: input loading matters most when at least one input is '0';
+    # stacking mutes '00' relative to '01'/'10'; output loading is strongest
+    # when the output is '0' (vector '11').
+    assert result.panel("01").input_a[-1].total > result.panel("11").input_a[-1].total
+    assert result.panel("10").input_b[-1].total > result.panel("11").input_b[-1].total
+    assert (
+        result.panel("01").input_a[-1].subthreshold
+        > result.panel("00").input_a[-1].subthreshold
+    )
+    assert abs(result.panel("11").output[-1].total) > abs(
+        result.panel("00").output[-1].total
+    )

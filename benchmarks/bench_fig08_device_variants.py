@@ -1,0 +1,31 @@
+"""Fig. 8 benchmark: loading effect across D25-S / D25-G / D25-JN devices."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.device.presets import DeviceVariant
+from repro.experiments.fig08 import run_fig8_device_variants
+
+
+def test_fig8_device_variants(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8_device_variants,
+        vector=(0,),
+        loading_currents=tuple(np.linspace(0.0, 3.0e-6, 5)),
+    )
+    print()
+    print(result.to_table())
+
+    series = result.series
+    # Paper Fig. 8: input loading strongest for the subthreshold-dominated
+    # device, output loading strongest for the junction-dominated device,
+    # and the gate-dominated device responds least overall.
+    assert (
+        series[DeviceVariant.D25_S].max_input_total()
+        > series[DeviceVariant.D25_G].max_input_total()
+    )
+    assert (
+        series[DeviceVariant.D25_JN].max_output_total()
+        > series[DeviceVariant.D25_G].max_output_total()
+    )

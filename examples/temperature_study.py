@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Temperature dependence of leakage and of the loading effect (Figs. 4c, 9).
+
+Part 1 sweeps temperature for a single off transistor and shows the crossover
+where the (exponentially growing) subthreshold current overtakes the nearly
+temperature-independent gate tunneling.  Part 2 evaluates the overall loading
+effect (LD_ALL) of a loaded inverter across temperature: the subthreshold
+loading response grows steeply while the total is moderated by the opposite
+movement of the gate and junction components.
+
+Run with ``python examples/temperature_study.py``.
+"""
+
+import numpy as np
+
+from repro import make_technology
+from repro.experiments.fig04 import run_fig4_device_trends
+from repro.experiments.fig09 import run_fig9_temperature
+
+
+def main() -> None:
+    technology = make_technology("bulk-25nm")
+
+    fig4 = run_fig4_device_trends(
+        technology,
+        halo_values_cm3=[technology.nmos.btbt.halo_cm3],
+        tox_values_nm=[technology.nmos.tox_nm],
+        temperatures_k=list(np.linspace(300.0, 400.0, 11)),
+    )
+    print(fig4.temperature.to_table())
+    crossover = None
+    for temperature, sub, gate in zip(
+        fig4.temperature.values,
+        fig4.temperature.subthreshold,
+        fig4.temperature.gate,
+    ):
+        if sub > gate:
+            crossover = temperature
+            break
+    if crossover is not None:
+        print(f"\nsubthreshold overtakes gate tunneling near T = {crossover:.0f} K\n")
+
+    fig9 = run_fig9_temperature(
+        technology, temperatures_c=(0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0)
+    )
+    print(fig9.to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — loading-effect-aware leakage modeling for nano-scale bulk CMOS.
+
+This library reproduces "Modeling and Analysis of Loading Effect in Leakage
+of Nano-Scaled Bulk-CMOS Logic Circuits" (Mukhopadhyay, Bhunia, Roy — DATE
+2005).  It provides:
+
+* compact device models of subthreshold, gate-tunneling and junction BTBT
+  leakage (:mod:`repro.device`);
+* a transistor-level DC operating-point solver that plays the role of SPICE
+  (:mod:`repro.spice`);
+* a standard-cell-style gate library with loading characterization
+  (:mod:`repro.gates`);
+* a gate-level circuit substrate with logic simulation, ISCAS ``.bench`` I/O
+  and benchmark-circuit generators (:mod:`repro.circuit`);
+* the paper's contribution: loading-aware circuit leakage estimation
+  (:mod:`repro.core`);
+* process-variation Monte-Carlo analysis (:mod:`repro.variation`);
+* per-figure experiment drivers (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import make_technology, GateLibrary
+>>> from repro.circuit.generators import inverter_chain
+>>> from repro.core import LoadingAwareEstimator
+>>> tech = make_technology("bulk-50nm")
+>>> library = GateLibrary(tech)
+>>> circuit = inverter_chain(8)
+>>> estimator = LoadingAwareEstimator(library)
+>>> report = estimator.estimate(circuit, {"in": 0})
+>>> report.total > 0
+True
+"""
+
+from repro.device import (
+    DeviceParams,
+    DeviceVariant,
+    Polarity,
+    TechnologyParams,
+    make_device,
+    make_technology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceParams",
+    "DeviceVariant",
+    "Polarity",
+    "TechnologyParams",
+    "make_device",
+    "make_technology",
+    "GateLibrary",
+    "LoadingAwareEstimator",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose the higher-level entry points.
+
+    Importing :mod:`repro` should stay cheap; the gate library and estimator
+    pull in the characterization machinery only when actually requested.
+    """
+    if name == "GateLibrary":
+        from repro.gates import GateLibrary
+
+        return GateLibrary
+    if name == "LoadingAwareEstimator":
+        from repro.core import LoadingAwareEstimator
+
+        return LoadingAwareEstimator
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,256 @@
+"""ISCAS ``.bench`` netlist reader and writer.
+
+The paper evaluates its algorithm on ISCAS89 benchmark circuits.  The
+``.bench`` format is the standard textual exchange format for those circuits:
+
+.. code-block:: text
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G11 = DFF(G10)
+
+The reader maps ``.bench`` primitives to library gate types, expands
+wide gates (more inputs than the library supports) into balanced trees, and
+treats D flip-flops the way leakage analysis usually does: the flop output
+becomes a pseudo primary input and the flop input a pseudo primary output, so
+only the combinational core remains.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.circuit.netlist import Circuit
+from repro.gates.library import GateType
+
+#: Mapping from ``.bench`` primitive names to (library family, max fan-in).
+_FAMILY_BY_PRIMITIVE = {
+    "NOT": "inv",
+    "INV": "inv",
+    "BUF": "buf",
+    "BUFF": "buf",
+    "AND": "and",
+    "NAND": "nand",
+    "OR": "or",
+    "NOR": "nor",
+    "XOR": "xor",
+    "XNOR": "xnor",
+}
+
+#: Gate types available per family, indexed by fan-in.
+_FAMILY_TYPES: dict[str, dict[int, GateType]] = {
+    "inv": {1: GateType.INV},
+    "buf": {1: GateType.BUF},
+    "and": {2: GateType.AND2, 3: GateType.AND3},
+    "nand": {2: GateType.NAND2, 3: GateType.NAND3, 4: GateType.NAND4},
+    "or": {2: GateType.OR2, 3: GateType.OR3},
+    "nor": {2: GateType.NOR2, 3: GateType.NOR3},
+    "xor": {2: GateType.XOR2},
+    "xnor": {2: GateType.XNOR2},
+}
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<output>[\w.\[\]]+)\s*=\s*(?P<prim>[A-Za-z]+)\s*\((?P<inputs>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<net>[\w.\[\]]+)\s*\)\s*$", re.I)
+
+
+class BenchFormatError(ValueError):
+    """Raised when a ``.bench`` file cannot be parsed."""
+
+
+def _decompose_wide(
+    circuit: Circuit,
+    family: str,
+    output: str,
+    inputs: list[str],
+    counter: list[int],
+) -> None:
+    """Instantiate a wide AND/OR/NAND/NOR as a tree of library gates.
+
+    Wide gates are reduced with the non-inverting family (AND/OR) and the
+    final stage uses the requested family so the logic function is preserved.
+    """
+    base_family = {"nand": "and", "nor": "or"}.get(family, family)
+    available = _FAMILY_TYPES[base_family]
+    max_arity = max(available)
+
+    nets = list(inputs)
+    while len(nets) > max_arity:
+        grouped: list[str] = []
+        for start in range(0, len(nets), max_arity):
+            group = nets[start : start + max_arity]
+            if len(group) == 1:
+                grouped.append(group[0])
+                continue
+            counter[0] += 1
+            intermediate = f"{output}__w{counter[0]}"
+            gate_type = available[len(group)]
+            circuit.add_gate(
+                name=f"{output}__t{counter[0]}",
+                gate_type=gate_type,
+                inputs=group,
+                output=intermediate,
+            )
+            grouped.append(intermediate)
+        nets = grouped
+
+    final_types = _FAMILY_TYPES[family]
+    gate_type = final_types.get(len(nets))
+    if gate_type is None:
+        # The reduced width may not exist in the inverting family (e.g. a
+        # 4-input NOR); finish with the non-inverting reduction plus INV.
+        counter[0] += 1
+        intermediate = f"{output}__w{counter[0]}"
+        circuit.add_gate(
+            name=f"{output}__t{counter[0]}",
+            gate_type=available[len(nets)],
+            inputs=nets,
+            output=intermediate,
+        )
+        circuit.add_gate(
+            name=f"{output}__inv",
+            gate_type=GateType.INV,
+            inputs=[intermediate],
+            output=output,
+        )
+        return
+    circuit.add_gate(
+        name=f"{output}__g", gate_type=gate_type, inputs=nets, output=output
+    )
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text into a :class:`Circuit`.
+
+    D flip-flops are cut: ``Q = DFF(D)`` declares ``Q`` as a pseudo primary
+    input and ``D`` as a pseudo primary output.
+    """
+    circuit = Circuit(name=name)
+    declared_outputs: list[str] = []
+    gate_lines: list[tuple[str, str, list[str]]] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            net = io_match.group("net")
+            if io_match.group("kind").upper() == "INPUT":
+                circuit.add_input(net)
+            else:
+                declared_outputs.append(net)
+            continue
+        line_match = _LINE_RE.match(line)
+        if not line_match:
+            raise BenchFormatError(f"cannot parse line: {raw_line!r}")
+        output = line_match.group("output")
+        primitive = line_match.group("prim").upper()
+        inputs = [token.strip() for token in line_match.group("inputs").split(",")]
+        inputs = [token for token in inputs if token]
+        gate_lines.append((output, primitive, inputs))
+
+    counter = [0]
+    flop_index = 0
+    for output, primitive, inputs in gate_lines:
+        if primitive in ("DFF", "DFFSR", "FF"):
+            if len(inputs) < 1:
+                raise BenchFormatError(f"flip-flop {output!r} has no data input")
+            flop_index += 1
+            circuit.add_input(output)
+            circuit.add_output(inputs[0])
+            continue
+        family = _FAMILY_BY_PRIMITIVE.get(primitive)
+        if family is None:
+            raise BenchFormatError(f"unsupported primitive {primitive!r}")
+        expected_types = _FAMILY_TYPES[family]
+        arity = len(inputs)
+        if arity in expected_types:
+            circuit.add_gate(
+                name=f"{output}__g",
+                gate_type=expected_types[arity],
+                inputs=inputs,
+                output=output,
+            )
+        elif family in ("inv", "buf"):
+            raise BenchFormatError(
+                f"{primitive} gate {output!r} must have exactly one input"
+            )
+        elif arity == 1:
+            # Single-input AND/OR/NAND/NOR degenerate to BUF/INV.
+            degenerate = GateType.BUF if family in ("and", "or") else GateType.INV
+            circuit.add_gate(
+                name=f"{output}__g",
+                gate_type=degenerate,
+                inputs=inputs,
+                output=output,
+            )
+        else:
+            _decompose_wide(circuit, family, output, inputs, counter)
+
+    for net in declared_outputs:
+        circuit.add_output(net)
+    circuit.validate()
+    return circuit
+
+
+def read_bench(path: str | Path) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit, path: str | Path | None = None) -> str:
+    """Render ``circuit`` in ``.bench`` syntax (optionally writing to ``path``).
+
+    Library gate types that have no ``.bench`` primitive (AOI21/OAI21) are
+    emitted as their two-primitive equivalents so the output stays readable
+    by other tools.
+    """
+    lines = [f"# {circuit.name} - written by repro.circuit.bench_io"]
+    for net in circuit.primary_inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.primary_outputs:
+        lines.append(f"OUTPUT({net})")
+
+    primitive_by_type = {
+        GateType.INV: "NOT",
+        GateType.BUF: "BUFF",
+        GateType.NAND2: "NAND",
+        GateType.NAND3: "NAND",
+        GateType.NAND4: "NAND",
+        GateType.NOR2: "NOR",
+        GateType.NOR3: "NOR",
+        GateType.AND2: "AND",
+        GateType.AND3: "AND",
+        GateType.OR2: "OR",
+        GateType.OR3: "OR",
+        GateType.XOR2: "XOR",
+        GateType.XNOR2: "XNOR",
+    }
+    for gate in circuit.gates.values():
+        primitive = primitive_by_type.get(gate.gate_type)
+        if primitive is not None:
+            operands = ", ".join(gate.inputs)
+            lines.append(f"{gate.output} = {primitive}({operands})")
+            continue
+        # Complex gates: AOI21 = NOR(AND(a, b), c); OAI21 = NAND(OR(a, b), c).
+        a, b, c = gate.inputs
+        helper = f"{gate.output}__{gate.name}_h"
+        if gate.gate_type is GateType.AOI21:
+            lines.append(f"{helper} = AND({a}, {b})")
+            lines.append(f"{gate.output} = NOR({helper}, {c})")
+        elif gate.gate_type is GateType.OAI21:
+            lines.append(f"{helper} = OR({a}, {b})")
+            lines.append(f"{gate.output} = NAND({helper}, {c})")
+        else:  # pragma: no cover - library is fully covered above
+            raise NotImplementedError(f"cannot export {gate.gate_type}")
+
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,470 @@
+"""Benchmark-circuit generators.
+
+The paper evaluates its circuit-level algorithm on six ISCAS89 benchmarks, an
+8x8 multiplier and an 8-bit ALU (Fig. 12).  The original ISCAS89 netlists are
+not redistributable inside this repository, so this module provides:
+
+* **exact structural generators** for the arithmetic designs the paper also
+  uses — :func:`array_multiplier` (the ``mult88`` circuit) and :func:`alu`
+  (the ``alu88`` circuit) — built gate by gate from the library;
+* **synthetic ISCAS-like circuits** (:func:`iscas_like`) with the published
+  gate counts, a realistic gate-type mix, logic depth and fanout profile.
+  The loading-effect results at circuit level depend on those topology
+  statistics, not on the exact boolean functions, which is why the synthetic
+  stand-ins preserve the paper's conclusions (see DESIGN.md);
+* **pedagogical structures** (inverter chains, fanout stars, the loaded
+  inverter cluster of Fig. 10) used by unit tests, examples and the
+  device-level experiments.
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.gates.library import GateType, gate_spec
+from repro.utils.rng import RngLike, ensure_rng
+
+# --------------------------------------------------------------------------- #
+# pedagogical structures
+# --------------------------------------------------------------------------- #
+
+
+def inverter_chain(length: int, name: str = "inv_chain") -> Circuit:
+    """Return a chain of ``length`` inverters driven by one primary input."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    circuit = Circuit(name=name)
+    previous = circuit.add_input("in")
+    for index in range(length):
+        output = f"n{index + 1}"
+        circuit.add_gate(f"inv{index + 1}", GateType.INV, [previous], output)
+        previous = output
+    circuit.add_output(previous)
+    return circuit
+
+
+def fanout_star(fanout: int, name: str = "fanout_star") -> Circuit:
+    """Return one driver inverter driving ``fanout`` load inverters.
+
+    This is the elementary loading experiment: the driver's output net sees
+    the summed gate-tunneling current of ``fanout`` receivers.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be at least 1")
+    circuit = Circuit(name=name)
+    circuit.add_input("in")
+    circuit.add_gate("driver", GateType.INV, ["in"], "net_drv")
+    for index in range(fanout):
+        output = f"load_out{index}"
+        circuit.add_gate(f"load{index}", GateType.INV, ["net_drv"], output)
+        circuit.add_output(output)
+    return circuit
+
+
+def loaded_inverter_cluster(
+    input_loads: int = 6,
+    output_loads: int = 6,
+    name: str = "loaded_inverter",
+) -> Circuit:
+    """Return the Fig. 10 structure: an inverter with input and output loading.
+
+    A driver inverter ``D`` drives net ``in_g``; the inverter under study
+    ``G`` and ``input_loads`` additional inverters receive ``in_g`` (input
+    loading of G), and ``output_loads`` inverters receive G's output net
+    ``out_g`` (output loading of G).
+    """
+    if input_loads < 0 or output_loads < 0:
+        raise ValueError("load counts must be non-negative")
+    circuit = Circuit(name=name)
+    circuit.add_input("in")
+    circuit.add_gate("drv", GateType.INV, ["in"], "in_g")
+    circuit.add_gate("g", GateType.INV, ["in_g"], "out_g")
+    circuit.add_output("out_g")
+    for index in range(input_loads):
+        net = f"inload_out{index}"
+        circuit.add_gate(f"inload{index}", GateType.INV, ["in_g"], net)
+        circuit.add_output(net)
+    for index in range(output_loads):
+        net = f"outload_out{index}"
+        circuit.add_gate(f"outload{index}", GateType.INV, ["out_g"], net)
+        circuit.add_output(net)
+    return circuit
+
+
+def nand_tree(depth: int, name: str = "nand_tree") -> Circuit:
+    """Return a balanced binary tree of NAND2 gates with ``2**depth`` inputs."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    circuit = Circuit(name=name)
+    current = [circuit.add_input(f"in{i}") for i in range(2**depth)]
+    level = 0
+    while len(current) > 1:
+        level += 1
+        next_level = []
+        for index in range(0, len(current), 2):
+            output = f"l{level}_n{index // 2}"
+            circuit.add_gate(
+                f"nand_l{level}_{index // 2}",
+                GateType.NAND2,
+                [current[index], current[index + 1]],
+                output,
+            )
+            next_level.append(output)
+        current = next_level
+    circuit.add_output(current[0])
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# arithmetic blocks (exact designs)
+# --------------------------------------------------------------------------- #
+
+
+def _half_adder(circuit: Circuit, a: str, b: str, prefix: str) -> tuple[str, str]:
+    """Add a half adder; return (sum, carry) net names."""
+    sum_net = f"{prefix}_s"
+    carry_net = f"{prefix}_c"
+    circuit.add_gate(f"{prefix}_xor", GateType.XOR2, [a, b], sum_net)
+    circuit.add_gate(f"{prefix}_and", GateType.AND2, [a, b], carry_net)
+    return sum_net, carry_net
+
+
+def _full_adder(
+    circuit: Circuit, a: str, b: str, cin: str, prefix: str
+) -> tuple[str, str]:
+    """Add a full adder; return (sum, carry-out) net names."""
+    axb = f"{prefix}_axb"
+    circuit.add_gate(f"{prefix}_xor1", GateType.XOR2, [a, b], axb)
+    sum_net = f"{prefix}_s"
+    circuit.add_gate(f"{prefix}_xor2", GateType.XOR2, [axb, cin], sum_net)
+    t1 = f"{prefix}_t1"
+    circuit.add_gate(f"{prefix}_and1", GateType.AND2, [a, b], t1)
+    t2 = f"{prefix}_t2"
+    circuit.add_gate(f"{prefix}_and2", GateType.AND2, [axb, cin], t2)
+    carry_net = f"{prefix}_c"
+    circuit.add_gate(f"{prefix}_or", GateType.OR2, [t1, t2], carry_net)
+    return sum_net, carry_net
+
+
+def _ripple_adder(
+    circuit: Circuit,
+    a_bits: list[str],
+    b_bits: list[str],
+    prefix: str,
+    cin: str | None = None,
+) -> tuple[list[str], str]:
+    """Add a ripple-carry adder; return (sum bits LSB-first, carry-out)."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand widths differ")
+    sums: list[str] = []
+    carry = cin
+    for index, (a, b) in enumerate(zip(a_bits, b_bits)):
+        stage = f"{prefix}_fa{index}"
+        if carry is None:
+            sum_net, carry = _half_adder(circuit, a, b, stage)
+        else:
+            sum_net, carry = _full_adder(circuit, a, b, carry, stage)
+        sums.append(sum_net)
+    return sums, carry
+
+
+def array_multiplier(width: int = 8, name: str | None = None) -> Circuit:
+    """Return an unsigned ``width x width`` array multiplier (``mult88``).
+
+    Partial products are formed with AND2 gates and accumulated row by row
+    with ripple-carry adders — the classic carry-propagate array structure.
+    The product bits ``p0 .. p(2*width-1)`` are the primary outputs.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    circuit = Circuit(name=name or f"mult{width}{width}")
+    a_bits = [circuit.add_input(f"a{i}") for i in range(width)]
+    b_bits = [circuit.add_input(f"b{i}") for i in range(width)]
+
+    def partial_products(row: int) -> list[str]:
+        nets = []
+        for column in range(width):
+            net = f"pp_{row}_{column}"
+            circuit.add_gate(
+                f"ppand_{row}_{column}",
+                GateType.AND2,
+                [a_bits[column], b_bits[row]],
+                net,
+            )
+            nets.append(net)
+        return nets
+
+    product: list[str] = []
+    accumulator = partial_products(0)
+    product.append(accumulator[0])
+    accumulator = accumulator[1:]
+
+    for row in range(1, width):
+        row_pp = partial_products(row)
+        overlap = len(accumulator)
+        sums, carry = _ripple_adder(
+            circuit, row_pp[:overlap], accumulator, f"row{row}"
+        )
+        if overlap < width:
+            # The row still has a partial-product bit above the accumulator;
+            # it absorbs the carry through a half adder.
+            top_sum, top_carry = _half_adder(
+                circuit, row_pp[overlap], carry, f"row{row}_top"
+            )
+            new_top = [top_sum, top_carry]
+        else:
+            new_top = [carry]
+        product.append(sums[0])
+        accumulator = sums[1:] + new_top
+
+    product.extend(accumulator)
+    for net in product:
+        circuit.add_output(net)
+    return circuit
+
+
+def _mux4(
+    circuit: Circuit,
+    d0: str,
+    d1: str,
+    d2: str,
+    d3: str,
+    s0: str,
+    s1: str,
+    s0_n: str,
+    s1_n: str,
+    prefix: str,
+) -> str:
+    """Add a 4:1 multiplexer built from AND3/OR2 gates; return the output net."""
+    t0 = f"{prefix}_t0"
+    t1 = f"{prefix}_t1"
+    t2 = f"{prefix}_t2"
+    t3 = f"{prefix}_t3"
+    circuit.add_gate(f"{prefix}_a0", GateType.AND3, [d0, s1_n, s0_n], t0)
+    circuit.add_gate(f"{prefix}_a1", GateType.AND3, [d1, s1_n, s0], t1)
+    circuit.add_gate(f"{prefix}_a2", GateType.AND3, [d2, s1, s0_n], t2)
+    circuit.add_gate(f"{prefix}_a3", GateType.AND3, [d3, s1, s0], t3)
+    or01 = f"{prefix}_or01"
+    or23 = f"{prefix}_or23"
+    out = f"{prefix}_y"
+    circuit.add_gate(f"{prefix}_o1", GateType.OR2, [t0, t1], or01)
+    circuit.add_gate(f"{prefix}_o2", GateType.OR2, [t2, t3], or23)
+    circuit.add_gate(f"{prefix}_o3", GateType.OR2, [or01, or23], out)
+    return out
+
+
+def alu(width: int = 8, name: str | None = None) -> Circuit:
+    """Return a ``width``-bit ALU (``alu88``): ADD / AND / OR / XOR.
+
+    Two select inputs choose the operation per the usual encoding
+    (00=ADD, 01=AND, 10=OR, 11=XOR); the adder carry-in and carry-out are a
+    primary input and output respectively.
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    circuit = Circuit(name=name or f"alu{width}{width}")
+    a_bits = [circuit.add_input(f"a{i}") for i in range(width)]
+    b_bits = [circuit.add_input(f"b{i}") for i in range(width)]
+    s0 = circuit.add_input("op0")
+    s1 = circuit.add_input("op1")
+    cin = circuit.add_input("cin")
+
+    circuit.add_gate("inv_s0", GateType.INV, [s0], "op0_n")
+    circuit.add_gate("inv_s1", GateType.INV, [s1], "op1_n")
+
+    sums, carry_out = _ripple_adder(circuit, a_bits, b_bits, "add", cin=cin)
+    circuit.add_output(carry_out)
+
+    for index in range(width):
+        a, b = a_bits[index], b_bits[index]
+        and_net = f"and_{index}"
+        or_net = f"or_{index}"
+        xor_net = f"xorf_{index}"
+        circuit.add_gate(f"fand_{index}", GateType.AND2, [a, b], and_net)
+        circuit.add_gate(f"for_{index}", GateType.OR2, [a, b], or_net)
+        circuit.add_gate(f"fxor_{index}", GateType.XOR2, [a, b], xor_net)
+        out = _mux4(
+            circuit,
+            sums[index],
+            and_net,
+            or_net,
+            xor_net,
+            s0,
+            s1,
+            "op0_n",
+            "op1_n",
+            f"mux_{index}",
+        )
+        circuit.add_output(out)
+    return circuit
+
+
+# --------------------------------------------------------------------------- #
+# synthetic random logic and ISCAS-like benchmarks
+# --------------------------------------------------------------------------- #
+
+#: Default gate-type mix of the synthetic circuits (weights need not sum to 1).
+DEFAULT_GATE_MIX: dict[GateType, float] = {
+    GateType.INV: 0.22,
+    GateType.NAND2: 0.24,
+    GateType.NOR2: 0.14,
+    GateType.AND2: 0.09,
+    GateType.OR2: 0.07,
+    GateType.NAND3: 0.08,
+    GateType.NOR3: 0.05,
+    GateType.AOI21: 0.04,
+    GateType.OAI21: 0.03,
+    GateType.XOR2: 0.02,
+    GateType.BUF: 0.02,
+}
+
+
+def random_logic(
+    name: str,
+    n_inputs: int,
+    n_gates: int,
+    rng: RngLike = None,
+    gate_mix: dict[GateType, float] | None = None,
+    locality: int = 64,
+) -> Circuit:
+    """Return a random levelized combinational circuit.
+
+    Parameters
+    ----------
+    name:
+        Circuit name.
+    n_inputs:
+        Number of primary inputs.
+    n_gates:
+        Number of gate instances to create.
+    rng:
+        Seed or generator controlling every random choice.
+    gate_mix:
+        Relative weights per gate type (defaults to :data:`DEFAULT_GATE_MIX`).
+    locality:
+        Inputs of a new gate are drawn preferentially from the most recent
+        ``locality`` driven nets; smaller values make deeper, narrower
+        circuits, larger values make shallower ones with higher fanout
+        variance.
+
+    Nets that end up with no receivers become the primary outputs, which is
+    how real benchmark netlists look after flip-flop extraction.
+    """
+    if n_inputs < 2:
+        raise ValueError("n_inputs must be at least 2")
+    if n_gates < 1:
+        raise ValueError("n_gates must be at least 1")
+    if locality < 4:
+        raise ValueError("locality must be at least 4")
+
+    generator = ensure_rng(rng)
+    mix = gate_mix or DEFAULT_GATE_MIX
+    gate_types = list(mix)
+    weights = [float(mix[t]) for t in gate_types]
+    total_weight = sum(weights)
+    probabilities = [w / total_weight for w in weights]
+
+    circuit = Circuit(name=name)
+    available = [circuit.add_input(f"pi{i}") for i in range(n_inputs)]
+
+    for index in range(n_gates):
+        choice = generator.choice(len(gate_types), p=probabilities)
+        gate_type = gate_types[int(choice)]
+        arity = gate_spec(gate_type).num_inputs
+        window = available[-locality:]
+        if len(window) < arity:
+            window = available
+        picks = generator.choice(len(window), size=arity, replace=len(window) < arity)
+        inputs = [window[int(p)] for p in picks]
+        output = f"{name}_n{index}"
+        circuit.add_gate(f"{name}_g{index}", gate_type, inputs, output)
+        available.append(output)
+
+    for net in available:
+        if not circuit.fanout_of(net) and not circuit.is_primary_input(net):
+            circuit.add_output(net)
+    if not circuit.primary_outputs:
+        circuit.add_output(available[-1])
+    circuit.validate()
+    return circuit
+
+
+@dataclass(frozen=True)
+class IscasProfile:
+    """Published size profile of one benchmark circuit."""
+
+    name: str
+    n_inputs: int
+    n_gates: int
+    description: str
+
+
+#: Size profiles for the circuits of the paper's Fig. 12, using the names as
+#: printed in the paper (s5372 and s9378 correspond to the ISCAS89 circuits
+#: s5378 and s9234).  Gate counts are the published combinational gate counts.
+ISCAS_PROFILES: dict[str, IscasProfile] = {
+    "s838": IscasProfile("s838", 67, 446, "ISCAS89 s838 (8-bit counter-like)"),
+    "s1196": IscasProfile("s1196", 32, 547, "ISCAS89 s1196 combinational core"),
+    "s1423": IscasProfile("s1423", 91, 657, "ISCAS89 s1423 combinational core"),
+    "s5372": IscasProfile("s5372", 214, 2779, "ISCAS89 s5378 combinational core"),
+    "s9378": IscasProfile("s9378", 247, 5597, "ISCAS89 s9234 combinational core"),
+    "s13207": IscasProfile("s13207", 700, 7951, "ISCAS89 s13207 combinational core"),
+}
+
+#: Aliases accepted by :func:`iscas_like` for the canonical ISCAS89 names.
+_ISCAS_ALIASES = {"s5378": "s5372", "s9234": "s9378"}
+
+
+def iscas_like(name: str, scale: float = 1.0, rng: RngLike = None) -> Circuit:
+    """Return a synthetic circuit sized like the named ISCAS89 benchmark.
+
+    Parameters
+    ----------
+    name:
+        One of the paper's circuit names (``s838`` ... ``s13207``); the
+        canonical ISCAS89 names ``s5378`` and ``s9234`` are accepted aliases.
+    scale:
+        Fractional size multiplier (0 < scale <= 1], used by fast test/bench
+        configurations; the generated circuit keeps the same input count and
+        gate mix with ``scale * n_gates`` gates.
+    rng:
+        Seed or generator; by default each profile uses a fixed seed derived
+        from its name, so repeated calls produce the identical circuit.
+    """
+    key = _ISCAS_ALIASES.get(name, name)
+    profile = ISCAS_PROFILES.get(key)
+    if profile is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(ISCAS_PROFILES)}"
+        )
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    n_gates = max(8, int(round(profile.n_gates * scale)))
+    if rng is None:
+        # Deterministic per-profile seed (not hash(), which is salted per run).
+        rng = sum(ord(c) for c in profile.name) * 7919
+    generator = ensure_rng(rng)
+    circuit = random_logic(
+        name=profile.name,
+        n_inputs=profile.n_inputs,
+        n_gates=n_gates,
+        rng=generator,
+    )
+    return circuit
+
+
+def paper_benchmark_suite(scale: float = 1.0) -> dict[str, Circuit]:
+    """Return the full Fig. 12 circuit suite keyed by the paper's names.
+
+    The suite is the six ISCAS-like circuits plus the exact ``mult88`` and
+    ``alu88`` designs.  ``scale`` only affects the synthetic circuits.
+    """
+    suite: dict[str, Circuit] = {}
+    for name in ISCAS_PROFILES:
+        suite[name] = iscas_like(name, scale=scale)
+    suite["alu88"] = alu(8)
+    suite["mult88"] = array_multiplier(8)
+    return suite

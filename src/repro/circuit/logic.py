@@ -1,0 +1,88 @@
+"""Logic-value propagation and input-vector generation.
+
+The loading-aware estimation algorithm needs the logic value of every net
+("Propagate logic value from primary inputs to primary outputs, for input
+pattern I" in Fig. 13): the per-gate characterized leakage is selected by the
+gate's input vector, and the sign of the loading injection on a net depends
+on whether the net sits at '0' or '1'.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.circuit.graph import topological_order
+from repro.circuit.netlist import Circuit, Gate
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def propagate(circuit: Circuit, input_assignment: dict[str, int]) -> dict[str, int]:
+    """Return the logic value (0/1) of every net for ``input_assignment``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to evaluate.
+    input_assignment:
+        Mapping of primary-input net names to 0/1 values; every primary input
+        must be assigned (missing or extra names raise ``KeyError``).
+    """
+    missing = [pi for pi in circuit.primary_inputs if pi not in input_assignment]
+    if missing:
+        raise KeyError(f"unassigned primary inputs: {missing[:10]}")
+    extra = [net for net in input_assignment if net not in circuit.primary_inputs]
+    if extra:
+        raise KeyError(f"assignment names non-primary-input nets: {extra[:10]}")
+
+    values: dict[str, int] = {
+        net: 1 if input_assignment[net] else 0 for net in circuit.primary_inputs
+    }
+    for name in topological_order(circuit):
+        gate = circuit.gates[name]
+        bits = tuple(values[net] for net in gate.inputs)
+        values[gate.output] = gate.spec.evaluate(bits)
+    return values
+
+
+def gate_input_bits(gate: Gate, net_values: dict[str, int]) -> tuple[int, ...]:
+    """Return the input vector of ``gate`` under the net values ``net_values``."""
+    return tuple(net_values[net] for net in gate.inputs)
+
+
+def random_input_assignment(circuit: Circuit, rng: RngLike = None) -> dict[str, int]:
+    """Return a uniformly random primary-input assignment."""
+    generator = ensure_rng(rng)
+    bits = generator.integers(0, 2, size=len(circuit.primary_inputs))
+    return {net: int(bit) for net, bit in zip(circuit.primary_inputs, bits)}
+
+
+def random_vectors(
+    circuit: Circuit, count: int, rng: RngLike = None
+) -> Iterator[dict[str, int]]:
+    """Yield ``count`` random primary-input assignments.
+
+    The paper's circuit-level experiments run 100 random vectors per circuit;
+    this is the generator those campaigns use.  Passing a seed (or a shared
+    generator) makes the vector set reproducible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    generator = ensure_rng(rng)
+    for _ in range(count):
+        yield random_input_assignment(circuit, generator)
+
+
+def exhaustive_vectors(circuit: Circuit) -> Iterator[dict[str, int]]:
+    """Yield every possible primary-input assignment (2**n of them).
+
+    Only sensible for small circuits (the minimum-leakage-vector search of
+    the input-vector-control experiments); the iteration order is the natural
+    binary counting order over the primary inputs as listed by the circuit.
+    """
+    inputs = list(circuit.primary_inputs)
+    width = len(inputs)
+    for code in range(2**width):
+        yield {
+            net: (code >> (width - 1 - index)) & 1
+            for index, net in enumerate(inputs)
+        }

@@ -1,0 +1,25 @@
+"""Traditional (no-loading) circuit leakage estimation.
+
+"Traditionally, leakage current in a circuit is calculated by determining
+individual leakage values for each gate and accumulating them" (Sec. 6 of the
+paper).  :class:`NoLoadingEstimator` implements exactly that baseline: the
+same characterized library, the same logic propagation and topological
+traversal, but every gate is looked up at its unloaded (nominal) point.
+
+Comparing it against :class:`~repro.core.estimator.LoadingAwareEstimator`
+reproduces the paper's Fig. 12(b)/(c) "% variation in leakage due to loading".
+"""
+
+from __future__ import annotations
+
+from repro.core.estimator import LoadingAwareEstimator
+from repro.gates.characterize import GateLibrary
+
+
+class NoLoadingEstimator(LoadingAwareEstimator):
+    """Accumulates unloaded per-gate leakage (the pre-existing practice)."""
+
+    method_name = "no-loading"
+
+    def __init__(self, library: GateLibrary) -> None:
+        super().__init__(library, include_loading=False)

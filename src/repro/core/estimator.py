@@ -1,0 +1,136 @@
+"""Loading-aware circuit leakage estimation (the paper's Fig. 13 algorithm).
+
+Given a gate-level circuit, a primary-input assignment and a characterized
+:class:`~repro.gates.characterize.GateLibrary`, the estimator:
+
+1. topologically sorts the gates and propagates logic values;
+2. computes, for every net, the summed signed gate-tunneling current its
+   receiver pins inject (from the characterized per-pin injection values);
+3. for every gate, turns those per-net sums into per-pin loading currents
+   (input loading excludes the gate's own pin; primary-input nets are ideal
+   and carry no loading) and looks up the characterized leakage response;
+4. accumulates per-gate and per-component totals.
+
+The cost is one LUT lookup per pin — linear in circuit size — which is where
+the ~1000x advantage over the transistor-level reference solve comes from.
+The one-level-propagation assumption of the paper (loading does not
+meaningfully propagate across more than one logic level) is what makes step 2
+possible with nominal (unloaded) pin-injection values.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.circuit.graph import topological_order
+from repro.circuit.logic import propagate
+from repro.circuit.netlist import Circuit
+from repro.core.report import CircuitLeakageReport, GateLeakage
+from repro.gates.characterize import GateLibrary
+
+
+class LoadingAwareEstimator:
+    """Circuit leakage estimator that accounts for the loading effect.
+
+    Parameters
+    ----------
+    library:
+        Characterized gate library (fixes the technology and temperature).
+    include_loading:
+        When False the estimator degenerates to the traditional accumulation
+        of unloaded gate leakages; :class:`~repro.core.baseline.NoLoadingEstimator`
+        is a thin wrapper over this flag.
+    """
+
+    method_name = "loading-aware"
+
+    def __init__(self, library: GateLibrary, include_loading: bool = True) -> None:
+        self.library = library
+        self.include_loading = include_loading
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self, circuit: Circuit, input_assignment: dict[str, int]
+    ) -> CircuitLeakageReport:
+        """Return the leakage report of ``circuit`` under ``input_assignment``."""
+        circuit.validate()
+        start = time.perf_counter()
+        order = topological_order(circuit)
+        net_values = propagate(circuit, input_assignment)
+
+        vectors: dict[str, tuple[int, ...]] = {}
+        for name in order:
+            gate = circuit.gates[name]
+            vectors[name] = tuple(net_values[net] for net in gate.inputs)
+
+        pin_injections = self._pin_injections(circuit, vectors)
+        net_injection = self._net_injections(circuit, pin_injections)
+
+        per_gate: dict[str, GateLeakage] = {}
+        for name in order:
+            gate = circuit.gates[name]
+            vector = vectors[name]
+            loading: dict[str, float] = {}
+            input_total = 0.0
+            output_total = 0.0
+            if self.include_loading:
+                for pin, net in zip(gate.spec.inputs, gate.inputs):
+                    if circuit.is_primary_input(net):
+                        continue
+                    others = net_injection.get(net, 0.0) - pin_injections[(name, pin)]
+                    if others != 0.0:
+                        loading[pin] = others
+                        input_total += others
+                output_total = net_injection.get(gate.output, 0.0)
+                if output_total != 0.0:
+                    loading[gate.spec.output] = output_total
+            breakdown = self.library.leakage_with_loading(
+                gate.gate_type, vector, loading
+            )
+            per_gate[name] = GateLeakage(
+                gate_name=name,
+                gate_type_name=gate.gate_type.value,
+                vector=vector,
+                breakdown=breakdown,
+                input_loading=input_total,
+                output_loading=output_total,
+            )
+
+        elapsed = time.perf_counter() - start
+        return CircuitLeakageReport(
+            circuit_name=circuit.name,
+            method=self.method_name if self.include_loading else "no-loading",
+            input_assignment=dict(input_assignment),
+            per_gate=per_gate,
+            temperature_k=self.library.temperature_k,
+            vdd=self.library.vdd,
+            metadata={"runtime_s": elapsed, "gate_count": len(per_gate)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _pin_injections(
+        self, circuit: Circuit, vectors: dict[str, tuple[int, ...]]
+    ) -> dict[tuple[str, str], float]:
+        """Return the signed injection of every (gate, input pin) into its net."""
+        injections: dict[tuple[str, str], float] = {}
+        for name, gate in circuit.gates.items():
+            vector = vectors[name]
+            for pin in gate.spec.inputs:
+                injections[(name, pin)] = self.library.pin_injection(
+                    gate.gate_type, vector, pin
+                )
+        return injections
+
+    def _net_injections(
+        self, circuit: Circuit, pin_injections: dict[tuple[str, str], float]
+    ) -> dict[str, float]:
+        """Return, per net, the summed signed injection of its receiver pins."""
+        totals: dict[str, float] = {}
+        for (name, pin), value in pin_injections.items():
+            net = circuit.gates[name].input_net(pin)
+            totals[net] = totals.get(net, 0.0) + value
+        return totals

@@ -1,0 +1,216 @@
+"""Loading-effect metrics (Eqs. 3-5 of the paper).
+
+The paper defines, for a logic gate G:
+
+* ``LD_IN(I_L-IN)``  — relative change of a leakage component when a loading
+  current ``I_L-IN`` (the summed gate tunneling of the *other* gates attached
+  to G's input net) perturbs the input node;
+* ``LD_OUT(I_L-OUT)`` — the same for the output net;
+* ``LD_ALL`` — both applied together (Eq. 4), with one ``LD_IN`` per input
+  pin for multi-input gates (Eq. 5).
+
+:class:`LoadingAnalyzer` evaluates these metrics *exactly*, by re-solving the
+characterization cell of the gate with the loading current injected — this is
+the analysis half of the paper (Figs. 5-9).  The fast circuit-level estimator
+uses the characterized response curves instead (see
+:mod:`repro.core.estimator`).
+
+Sign convention: the paper plots loading-current *magnitudes*; physically the
+receivers inject current into a net at logic '0' and draw current from a net
+at logic '1' (Sec. 4).  The analyzer derives the signed injection from the
+logic value of the perturbed pin, so callers can work with magnitudes exactly
+as the figures do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.params import TechnologyParams
+from repro.gates.characterize import CharacterizationOptions, GateCharacterizer
+from repro.gates.library import GateType, gate_spec
+from repro.spice.analysis import ComponentBreakdown
+
+#: Component keys reported by every loading-effect evaluation.
+LD_COMPONENTS = ("subthreshold", "gate", "btbt", "total")
+
+
+@dataclass(frozen=True)
+class LoadingEffect:
+    """Loading effect on each leakage component, in percent.
+
+    A positive value means the loading *increases* that component relative to
+    the unloaded (nominal) gate.
+    """
+
+    subthreshold: float
+    gate: float
+    btbt: float
+    total: float
+
+    def component(self, name: str) -> float:
+        """Return one component's loading effect by name."""
+        if name not in LD_COMPONENTS:
+            raise KeyError(f"unknown component {name!r}")
+        return getattr(self, name)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the four percentages as a dictionary."""
+        return {name: getattr(self, name) for name in LD_COMPONENTS}
+
+
+def _percent(loaded: ComponentBreakdown, nominal: ComponentBreakdown) -> LoadingEffect:
+    def pct(a: float, b: float) -> float:
+        if b == 0.0:
+            return 0.0
+        return 100.0 * (a - b) / b
+
+    return LoadingEffect(
+        subthreshold=pct(loaded.subthreshold, nominal.subthreshold),
+        gate=pct(loaded.gate, nominal.gate),
+        btbt=pct(loaded.btbt, nominal.btbt),
+        total=pct(loaded.total, nominal.total),
+    )
+
+
+class LoadingAnalyzer:
+    """Exact loading-effect analysis of a single library gate.
+
+    Parameters
+    ----------
+    technology:
+        Device technology of the gate and its drivers.
+    temperature_k:
+        Analysis temperature (defaults to the technology's nominal).
+    options:
+        Characterization-cell options (driver sizing, solver settings).
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParams,
+        temperature_k: float | None = None,
+        options: CharacterizationOptions | None = None,
+    ) -> None:
+        self.characterizer = GateCharacterizer(technology, temperature_k, options)
+        self._nominal_cache: dict[tuple[str, tuple[int, ...]], ComponentBreakdown] = {}
+
+    @property
+    def technology(self) -> TechnologyParams:
+        """Return the analyzed technology."""
+        return self.characterizer.technology
+
+    @property
+    def temperature_k(self) -> float:
+        """Return the analysis temperature in kelvin."""
+        return self.characterizer.temperature_k
+
+    # ------------------------------------------------------------------ #
+    # sign handling
+    # ------------------------------------------------------------------ #
+    def signed_injection(
+        self,
+        gate_type: GateType | str,
+        vector: tuple[int, ...],
+        pin: str,
+        magnitude: float,
+    ) -> float:
+        """Return the signed injection for a loading-current *magnitude*.
+
+        Receivers inject current into a '0' net and draw current from a '1'
+        net, so the sign follows the logic value of the perturbed pin under
+        ``vector`` (the output pin's value is the evaluated gate output).
+        """
+        if magnitude < 0:
+            raise ValueError("loading-current magnitude must be non-negative")
+        spec = gate_spec(gate_type)
+        if pin == spec.output:
+            value = spec.evaluate(vector)
+        else:
+            try:
+                index = spec.inputs.index(pin)
+            except ValueError as exc:
+                raise KeyError(f"{spec.name} has no pin {pin!r}") from exc
+            value = vector[index]
+        return -magnitude if value else magnitude
+
+    # ------------------------------------------------------------------ #
+    # metrics
+    # ------------------------------------------------------------------ #
+    def nominal(
+        self, gate_type: GateType | str, vector: tuple[int, ...]
+    ) -> ComponentBreakdown:
+        """Return the unloaded leakage breakdown of (gate type, vector)."""
+        spec = gate_spec(gate_type)
+        key = (spec.name, tuple(int(b) for b in vector))
+        cached = self._nominal_cache.get(key)
+        if cached is None:
+            cached = self.characterizer.solve_cell(spec.gate_type, key[1]).dut_breakdown
+            self._nominal_cache[key] = cached
+        return cached
+
+    def loaded(
+        self,
+        gate_type: GateType | str,
+        vector: tuple[int, ...],
+        loading_magnitudes: dict[str, float],
+    ) -> ComponentBreakdown:
+        """Return the leakage breakdown with the given loading magnitudes applied.
+
+        ``loading_magnitudes`` maps pin names (inputs and/or ``y``) to
+        loading-current magnitudes in amperes.
+        """
+        spec = gate_spec(gate_type)
+        injections = {
+            pin: self.signed_injection(spec.gate_type, vector, pin, magnitude)
+            for pin, magnitude in loading_magnitudes.items()
+        }
+        return self.characterizer.solve_cell(
+            spec.gate_type, vector, injections
+        ).dut_breakdown
+
+    def input_loading_effect(
+        self,
+        gate_type: GateType | str,
+        vector: tuple[int, ...],
+        loading_current: float,
+        pin: str = "a",
+    ) -> LoadingEffect:
+        """Return LD_IN for a loading-current magnitude at one input pin (Eq. 3)."""
+        nominal = self.nominal(gate_type, vector)
+        loaded = self.loaded(gate_type, vector, {pin: loading_current})
+        return _percent(loaded, nominal)
+
+    def output_loading_effect(
+        self,
+        gate_type: GateType | str,
+        vector: tuple[int, ...],
+        loading_current: float,
+    ) -> LoadingEffect:
+        """Return LD_OUT for a loading-current magnitude at the output (Eq. 3)."""
+        spec = gate_spec(gate_type)
+        nominal = self.nominal(spec.gate_type, vector)
+        loaded = self.loaded(spec.gate_type, vector, {spec.output: loading_current})
+        return _percent(loaded, nominal)
+
+    def overall_loading_effect(
+        self,
+        gate_type: GateType | str,
+        vector: tuple[int, ...],
+        input_loading: float | dict[str, float],
+        output_loading: float,
+    ) -> LoadingEffect:
+        """Return LD_ALL with input and output loading applied together (Eqs. 4-5).
+
+        ``input_loading`` is either a single magnitude applied to every input
+        pin or a per-pin mapping.
+        """
+        spec = gate_spec(gate_type)
+        if isinstance(input_loading, dict):
+            magnitudes = dict(input_loading)
+        else:
+            magnitudes = {pin: float(input_loading) for pin in spec.inputs}
+        magnitudes[spec.output] = float(output_loading)
+        nominal = self.nominal(spec.gate_type, vector)
+        loaded = self.loaded(spec.gate_type, vector, magnitudes)
+        return _percent(loaded, nominal)

@@ -1,0 +1,187 @@
+"""Vector campaigns: random-vector statistics and minimum-leakage-vector search.
+
+The paper's circuit-level evaluation (Fig. 12) runs 100 random vectors per
+circuit and reports, per leakage component, the average and maximum percent
+change caused by the loading effect.  It also observes (Sec. 6) that the
+minimum-leakage input vector — the quantity input-vector-control leakage
+reduction techniques search for — can change once loading is considered.
+This module provides both campaign types on top of any estimator that
+implements ``estimate(circuit, assignment) -> CircuitLeakageReport``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro.circuit.logic import exhaustive_vectors, random_vectors
+from repro.circuit.netlist import Circuit
+from repro.core.report import REPORT_COMPONENTS, CircuitLeakageReport
+from repro.utils.rng import RngLike
+
+
+class LeakageEstimator(Protocol):
+    """Anything that can produce a :class:`CircuitLeakageReport` for a vector."""
+
+    def estimate(
+        self, circuit: Circuit, input_assignment: dict[str, int]
+    ) -> CircuitLeakageReport:  # pragma: no cover - protocol definition
+        ...
+
+
+@dataclass
+class VectorCampaignResult:
+    """Reports of one estimator over a common vector set."""
+
+    circuit_name: str
+    method: str
+    reports: list[CircuitLeakageReport] = field(default_factory=list)
+
+    @property
+    def vector_count(self) -> int:
+        """Return the number of vectors evaluated."""
+        return len(self.reports)
+
+    def totals(self, component: str = "total") -> np.ndarray:
+        """Return the chosen component's circuit total per vector (A)."""
+        return np.array([report.component(component) for report in self.reports])
+
+    def mean_total(self, component: str = "total") -> float:
+        """Return the mean circuit leakage of a component over the campaign."""
+        totals = self.totals(component)
+        return float(totals.mean()) if totals.size else 0.0
+
+    def runtime_s(self) -> float:
+        """Return the summed estimation runtime recorded in report metadata."""
+        return float(
+            sum(float(r.metadata.get("runtime_s", 0.0)) for r in self.reports)
+        )
+
+
+def run_vector_campaign(
+    estimator: LeakageEstimator,
+    circuit: Circuit,
+    vectors: Iterable[dict[str, int]] | None = None,
+    count: int = 100,
+    rng: RngLike = None,
+) -> VectorCampaignResult:
+    """Run ``estimator`` over a vector set and collect the reports.
+
+    Parameters
+    ----------
+    vectors:
+        Explicit vector set; when omitted, ``count`` random vectors are drawn
+        using ``rng`` (pass the same seed to different estimators to compare
+        them on identical vectors).
+    """
+    if vectors is None:
+        vectors = list(random_vectors(circuit, count, rng))
+    else:
+        vectors = list(vectors)
+    reports = [estimator.estimate(circuit, vector) for vector in vectors]
+    method = reports[0].method if reports else getattr(estimator, "method_name", "?")
+    return VectorCampaignResult(
+        circuit_name=circuit.name, method=method, reports=reports
+    )
+
+
+@dataclass(frozen=True)
+class LoadingImpactStatistics:
+    """Per-component impact of the loading effect over a vector campaign.
+
+    ``average_percent`` and ``maximum_percent`` are the Fig. 12(b) and
+    Fig. 12(c) quantities: the mean and maximum over vectors of the absolute
+    percent difference between the loading-aware and no-loading circuit
+    totals.
+    """
+
+    circuit_name: str
+    vector_count: int
+    average_percent: dict[str, float]
+    maximum_percent: dict[str, float]
+
+    def row(self, statistic: str = "average") -> list[object]:
+        """Return a table row (circuit, sub, gate, btbt, total) in percent."""
+        source = (
+            self.average_percent if statistic == "average" else self.maximum_percent
+        )
+        return [self.circuit_name] + [source[name] for name in REPORT_COMPONENTS]
+
+
+def loading_impact_statistics(
+    with_loading: VectorCampaignResult,
+    without_loading: VectorCampaignResult,
+) -> LoadingImpactStatistics:
+    """Return average/maximum loading-induced percent change per component.
+
+    Both campaigns must cover the same circuit and the same number of vectors
+    (ideally the identical vector list, which :func:`run_vector_campaign`
+    guarantees when given the same seed or explicit vectors).
+    """
+    if with_loading.circuit_name != without_loading.circuit_name:
+        raise ValueError("campaigns cover different circuits")
+    if with_loading.vector_count != without_loading.vector_count:
+        raise ValueError("campaigns cover different vector counts")
+    if with_loading.vector_count == 0:
+        raise ValueError("campaigns are empty")
+
+    average: dict[str, float] = {}
+    maximum: dict[str, float] = {}
+    for name in REPORT_COMPONENTS:
+        loaded = with_loading.totals(name)
+        unloaded = without_loading.totals(name)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            percent = np.where(
+                unloaded != 0.0, 100.0 * (loaded - unloaded) / unloaded, 0.0
+            )
+        magnitude = np.abs(percent)
+        average[name] = float(magnitude.mean())
+        maximum[name] = float(magnitude.max())
+    return LoadingImpactStatistics(
+        circuit_name=with_loading.circuit_name,
+        vector_count=with_loading.vector_count,
+        average_percent=average,
+        maximum_percent=maximum,
+    )
+
+
+def minimum_leakage_vector(
+    estimator: LeakageEstimator,
+    circuit: Circuit,
+    vectors: Iterable[dict[str, int]] | None = None,
+    exhaustive: bool = False,
+    count: int = 100,
+    rng: RngLike = None,
+) -> tuple[dict[str, int], float]:
+    """Return the input vector with the lowest estimated total leakage.
+
+    Parameters
+    ----------
+    exhaustive:
+        When True every possible input vector is evaluated (only feasible for
+        small circuits); otherwise ``vectors`` or ``count`` random vectors
+        are used.
+
+    Returns the (assignment, total leakage in amperes) pair.  The paper notes
+    that the winning vector can differ between loading-aware and no-loading
+    estimation, which is why the estimator is a parameter.
+    """
+    if exhaustive:
+        candidate_vectors: Iterable[dict[str, int]] = exhaustive_vectors(circuit)
+    elif vectors is not None:
+        candidate_vectors = vectors
+    else:
+        candidate_vectors = random_vectors(circuit, count, rng)
+
+    best_vector: dict[str, int] | None = None
+    best_total = float("inf")
+    for vector in candidate_vectors:
+        total = estimator.estimate(circuit, vector).total
+        if total < best_total:
+            best_total = total
+            best_vector = dict(vector)
+    if best_vector is None:
+        raise ValueError("no vectors were evaluated")
+    return best_vector, best_total

@@ -1,0 +1,56 @@
+"""Compact device models for nano-scale bulk-CMOS leakage.
+
+This package is the substrate that replaces the paper's MEDICI-designed
+devices and AURORA-extracted BSIM4 models.  It provides analytical models of
+the three dominant leakage mechanisms of a nano-scale bulk MOSFET:
+
+* :mod:`repro.device.subthreshold` — weak-inversion channel conduction with
+  DIBL, Vth roll-off, body effect and temperature dependence (an EKV-style
+  smooth formulation that also covers the on-state, which the DC solver needs
+  to pin driven nodes at the rails);
+* :mod:`repro.device.gate_tunneling` — gate direct tunneling split into the
+  overlap (Igso/Igdo), gate-to-channel (Igcs/Igcd) and gate-to-bulk (Igb)
+  components;
+* :mod:`repro.device.btbt` — reverse-biased drain/source-to-substrate junction
+  band-to-band tunneling driven by the halo doping.
+
+:class:`repro.device.mosfet.Mosfet` composes the three mechanisms into a
+four-terminal element that reports signed terminal currents (for Kirchhoff
+solves) plus a per-component breakdown (for leakage reports).
+:mod:`repro.device.presets` provides calibrated 50 nm and 25 nm NMOS/PMOS
+devices and the D25-S / D25-G / D25-JN variants used in Section 5.1 of the
+paper.
+"""
+
+from repro.device.params import (
+    BtbtParams,
+    DeviceParams,
+    GateTunnelingParams,
+    Polarity,
+    SubthresholdParams,
+    TechnologyParams,
+)
+from repro.device.mosfet import Mosfet, MosfetCurrents
+from repro.device.presets import (
+    DeviceVariant,
+    device_pair,
+    make_device,
+    make_technology,
+    variant_description,
+)
+
+__all__ = [
+    "BtbtParams",
+    "DeviceParams",
+    "GateTunnelingParams",
+    "Polarity",
+    "SubthresholdParams",
+    "TechnologyParams",
+    "Mosfet",
+    "MosfetCurrents",
+    "DeviceVariant",
+    "device_pair",
+    "make_device",
+    "make_technology",
+    "variant_description",
+]

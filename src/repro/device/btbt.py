@@ -1,0 +1,102 @@
+"""Reverse-biased junction band-to-band-tunneling (BTBT) model.
+
+The heavy halo implants that suppress the short-channel effect in nano-scale
+bulk devices create steep, highly doped drain/source-to-substrate junctions.
+With the drain at VDD and the substrate at ground the junction is strongly
+reverse biased, and electrons tunnel from the valence band of the p-side to
+the conduction band of the n-side (Kane tunneling).  The resulting current
+
+    J = A * E^gamma * Vrev * exp(-B(T) / E),      E ~ sqrt(N_eff * (Vrev + psi_bi))
+
+* grows exponentially with the junction doping and the reverse bias
+  (paper Fig. 4a — why halo doping trades subthreshold for BTBT leakage),
+* rises only marginally with temperature through bandgap narrowing
+  (paper Fig. 4c),
+* is insensitive to the gate voltage, which is why input loading barely
+  changes the junction component while output loading changes it strongly
+  (paper Sec. 4).
+
+As with the gate-tunneling model, the shape function is calibrated so that
+``J(vref) == jbtbt_ref`` at the reference doping — the calibration stands in
+for the AURORA parameter extraction of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.device.params import BtbtParams, DeviceParams
+from repro.utils.constants import ROOM_TEMPERATURE_K, silicon_bandgap
+from repro.utils.mathtools import safe_exp
+
+
+def _relative_field(vrev: float, params: BtbtParams) -> float:
+    """Return the junction field normalized to the reference-bias field.
+
+    E ~ sqrt(N_halo * (Vrev + psi_bi)); the normalization removes all the
+    constant factors so only the doping and bias dependence remains.
+    """
+    if vrev < 0.0:
+        vrev = 0.0
+    numerator = params.halo_cm3 * (vrev + params.psi_bi)
+    denominator = params.halo_ref_cm3 * (params.vref + params.psi_bi)
+    return math.sqrt(numerator / denominator)
+
+
+def _temperature_factor(params: BtbtParams, temperature_k: float) -> float:
+    """Return the Kane exponent scale factor due to bandgap narrowing."""
+    eg = silicon_bandgap(temperature_k)
+    eg_ref = silicon_bandgap(ROOM_TEMPERATURE_K)
+    return (eg / eg_ref) ** params.bandgap_sensitivity
+
+
+def btbt_current_density(
+    vrev: float,
+    params: BtbtParams,
+    temperature_k: float = ROOM_TEMPERATURE_K,
+) -> float:
+    """Return the junction BTBT current density (A/um^2) at reverse bias ``vrev``.
+
+    A forward-biased (``vrev < 0``) junction would conduct as a diode; that
+    regime never occurs in a static CMOS leakage state, so the model simply
+    returns zero there.
+    """
+    if vrev <= 0.0:
+        return 0.0
+    if params.jbtbt_ref <= 0.0:
+        return 0.0
+    field = _relative_field(vrev, params)
+    if field <= 0.0:
+        return 0.0
+    b_eff = params.b_field * _temperature_factor(params, temperature_k)
+    # The reference shape value at (vref, halo_ref) has field == 1 by
+    # construction, so normalization is exp(-b_field at reference).
+    shape = (field**params.field_exponent) * (vrev / params.vref) * safe_exp(
+        -b_eff / field
+    )
+    reference = safe_exp(-params.b_field)
+    return params.jbtbt_ref * shape / reference
+
+
+def junction_btbt_current(
+    device: DeviceParams,
+    v_junction: float,
+    v_bulk: float,
+    temperature_k: float,
+) -> float:
+    """Return the BTBT current (A) of one S/D junction of ``device``.
+
+    Parameters
+    ----------
+    v_junction:
+        Normalized potential of the drain or source diffusion.
+    v_bulk:
+        Normalized potential of the bulk/substrate terminal.
+
+    The returned value is the magnitude of the current flowing from the
+    diffusion into the bulk (the reverse-bias tunneling direction); it is
+    zero when the junction is not reverse biased.
+    """
+    vrev = v_junction - v_bulk
+    density = btbt_current_density(vrev, device.btbt, temperature_k)
+    return density * device.junction_area_um2 * device.ibtbt_scale

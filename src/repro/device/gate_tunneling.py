@@ -1,0 +1,200 @@
+"""Gate direct-tunneling model.
+
+In sub-100 nm devices with ultra-thin oxides, carriers tunnel directly through
+the gate dielectric.  The components retained here follow the BSIM4 partition
+the paper cites (Sec. 2.2):
+
+* ``Igso`` / ``Igdo`` — gate to source/drain extension overlap currents,
+  driven by Vgs / Vgd regardless of the channel state;
+* ``Igcs`` / ``Igcd`` — gate-to-channel current, present when the channel is
+  inverted, partitioned between source and drain;
+* ``Igb`` — gate-to-substrate current, a small fraction of the channel
+  tunneling.
+
+The bias dependence uses the standard direct-tunneling shape function
+
+    J(Vox) = A * (Vox / tox)^2 * exp( -B * tox * (1 - (1 - Vox/phi_b)^1.5) / Vox )
+
+calibrated so that ``J(vref, tox_ref) == jg_ref`` of the device's
+:class:`~repro.device.params.GateTunnelingParams`.  This keeps the exponential
+sensitivity to oxide voltage and thickness (the physics that matters for the
+loading effect) while letting presets place the absolute magnitude exactly
+where the paper's devices sit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.device.params import DeviceParams, GateTunnelingParams
+from repro.utils.constants import ROOM_TEMPERATURE_K
+from repro.utils.mathtools import safe_exp, smooth_step
+
+#: Oxide voltage below which the shape function switches to its Taylor limit.
+_SMALL_VOX = 1.0e-6
+
+
+def _shape_function(vox: float, tox_nm: float, params: GateTunnelingParams) -> float:
+    """Return the unnormalized direct-tunneling shape value at ``vox`` >= 0."""
+    if vox <= 0.0:
+        return 0.0
+    phi = params.barrier_ev
+    b = params.b_tox_per_nm
+    # (1 - (1 - v/phi)^1.5)/v -> 1.5/phi as v -> 0; the expression is smooth.
+    ratio = vox / phi
+    if ratio >= 1.0:
+        barrier_term = 1.0 / vox
+    elif vox < _SMALL_VOX:
+        barrier_term = 1.5 / phi
+    else:
+        barrier_term = (1.0 - (1.0 - ratio) ** 1.5) / vox
+    exponent = -b * tox_nm * phi * barrier_term / 1.5
+    # Normalizing by phi/1.5 makes the exponent equal -b*tox at the small-Vox
+    # limit, so b_tox_per_nm is directly the low-bias decades-per-nm knob.
+    prefactor = (vox / tox_nm) ** 2
+    return prefactor * safe_exp(exponent)
+
+
+def tunneling_current_density(
+    vox: float,
+    tox_nm: float,
+    params: GateTunnelingParams,
+    temperature_k: float = ROOM_TEMPERATURE_K,
+) -> float:
+    """Return the gate tunneling current density (A/um^2) at oxide voltage ``vox``.
+
+    The magnitude is calibrated against ``params.jg_ref`` at the reference
+    bias/thickness.  ``vox`` may be negative; the density returned is the
+    magnitude for ``|vox|`` (the caller assigns direction).
+    """
+    magnitude = abs(vox)
+    reference = _shape_function(params.vref, params.tox_ref_nm, params)
+    if reference <= 0.0:
+        return 0.0
+    value = params.jg_ref * _shape_function(magnitude, tox_nm, params) / reference
+    # Gate tunneling is nearly temperature independent; a small linear term
+    # mirrors the almost-flat curve in the paper's Fig. 4(c).
+    value *= 1.0 + params.temp_coeff_per_k * (temperature_k - ROOM_TEMPERATURE_K)
+    return max(value, 0.0)
+
+
+class GateTunnelingComponents:
+    """Signed gate-tunneling component currents of one transistor.
+
+    All currents are expressed in the *normalized* (NMOS-like) voltage frame
+    and use the convention "positive = conventional current flowing from the
+    gate terminal into the device".  The mirroring for PMOS happens in
+    :class:`repro.device.mosfet.Mosfet`.
+
+    Attributes
+    ----------
+    igso / igdo:
+        Gate-to-source / gate-to-drain overlap currents (signed).
+    igcs / igcd:
+        Source / drain partitions of the gate-to-channel current (signed).
+    igb:
+        Gate-to-substrate current (signed).
+    """
+
+    __slots__ = ("igso", "igdo", "igcs", "igcd", "igb")
+
+    def __init__(
+        self, igso: float, igdo: float, igcs: float, igcd: float, igb: float
+    ) -> None:
+        self.igso = igso
+        self.igdo = igdo
+        self.igcs = igcs
+        self.igcd = igcd
+        self.igb = igb
+
+    @property
+    def total_gate_terminal(self) -> float:
+        """Total signed current leaving the gate terminal into the device."""
+        return self.igso + self.igdo + self.igcs + self.igcd + self.igb
+
+    @property
+    def magnitude(self) -> float:
+        """Sum of component magnitudes (the 'gate leakage' of reports)."""
+        return (
+            abs(self.igso)
+            + abs(self.igdo)
+            + abs(self.igcs)
+            + abs(self.igcd)
+            + abs(self.igb)
+        )
+
+
+def gate_tunneling_components(
+    device: DeviceParams,
+    vg: float,
+    vd: float,
+    vs: float,
+    vb: float,
+    temperature_k: float,
+    vth_eff: float,
+) -> GateTunnelingComponents:
+    """Compute the gate tunneling components in the normalized frame.
+
+    Parameters
+    ----------
+    device:
+        Device flavour; supplies areas, oxide thickness and tunneling
+        parameters.
+    vg, vd, vs, vb:
+        Normalized node voltages (an NMOS sees them as-is; a PMOS is mirrored
+        by the caller).
+    vth_eff:
+        Effective threshold voltage used to decide whether the channel is
+        inverted (gate-to-channel tunneling requires an inverted channel).
+    """
+    params = device.gate_tunneling
+    tox = device.tox_nm
+    scale = device.igate_scale
+
+    overlap_area = device.overlap_area_um2
+    channel_area = device.gate_area_um2
+
+    def signed_density(vox: float) -> float:
+        density = tunneling_current_density(vox, tox, params, temperature_k)
+        return math.copysign(density, vox) if vox != 0.0 else 0.0
+
+    # Overlap currents exist for any gate-to-extension bias.
+    igso = overlap_area * signed_density(vg - vs) * scale
+    igdo = overlap_area * signed_density(vg - vd) * scale
+
+    # Gate-to-channel tunneling requires an inverted channel; the degree of
+    # inversion is blended smoothly around threshold so the solver sees a
+    # continuous function of the gate voltage.
+    vgs = vg - vs
+    inversion = smooth_step(vgs - vth_eff, width=0.05)
+    channel_potential = vs + 0.5 * max(min(vg - vth_eff, vd) - vs, 0.0)
+    vox_channel = vg - channel_potential
+    igc_total = channel_area * signed_density(vox_channel) * inversion * scale
+
+    # When the channel is not inverted a weaker gate-to-bulk (accumulation /
+    # depletion) tunneling path remains.
+    vox_bulk = vg - vb
+    igb_acc = (
+        channel_area
+        * signed_density(vox_bulk)
+        * params.accumulation_factor
+        * (1.0 - inversion)
+        * scale
+    )
+
+    igb_inv = igc_total * params.gb_fraction
+    igc_effective = igc_total - igb_inv
+
+    # The channel current partitions between source and drain ends; with the
+    # drain at a higher potential the source end sees the larger oxide field,
+    # so it receives the larger share.
+    igcs = 0.6 * igc_effective
+    igcd = 0.4 * igc_effective
+
+    return GateTunnelingComponents(
+        igso=igso,
+        igdo=igdo,
+        igcs=igcs,
+        igcd=igcd,
+        igb=igb_inv + igb_acc,
+    )

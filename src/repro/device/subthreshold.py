@@ -1,0 +1,170 @@
+"""Subthreshold / channel conduction model.
+
+The model is an EKV-style smooth interpolation
+
+    I_ch = I_S * [ softplus((Vp - Vs')/2vT)^2 - softplus((Vp - Vd')/2vT)^2 ]
+
+which reduces to the familiar exponential subthreshold expression
+
+    I_sub = I_0 * exp((Vgs - Vth)/(n*vT)) * (1 - exp(-Vds/vT))
+
+deep in weak inversion and to a square-law on-current above threshold.  The
+smooth on-state matters to the DC solver: an "on" transistor must hold its
+node at the rail against the leakage of the opposing "off" network, and the
+solver's bracketing routine needs a continuous, monotonic I-V to do that.
+
+The effective threshold voltage includes the short-channel terms the paper
+leans on:
+
+* DIBL (Vth drops with Vds — why subthreshold leakage is sensitive to output
+  loading),
+* Vth roll-off with channel length and oxide thickness (why thicker oxide
+  *increases* subthreshold leakage, Fig. 4b),
+* the halo-doping dependence (Fig. 4a),
+* the body effect (source of the stacking effect in NAND/NOR pull networks),
+* a linear temperature coefficient (with the thermal voltage, the source of
+  the exponential temperature dependence in Fig. 4c).
+"""
+
+from __future__ import annotations
+
+from repro.device.params import DeviceParams
+from repro.utils.constants import EPSILON_OX, ROOM_TEMPERATURE_K, thermal_voltage
+from repro.utils.mathtools import log1p_exp
+
+import math
+
+
+def oxide_capacitance_per_area(tox_nm: float) -> float:
+    """Return the gate-oxide capacitance per unit area in F/m^2."""
+    if tox_nm <= 0:
+        raise ValueError(f"tox_nm must be positive, got {tox_nm}")
+    return EPSILON_OX / (tox_nm * 1.0e-9)
+
+
+def effective_threshold(
+    device: DeviceParams,
+    vds: float,
+    vbs: float,
+    temperature_k: float,
+) -> float:
+    """Return the effective threshold voltage (normalized, NMOS-like frame).
+
+    Parameters
+    ----------
+    device:
+        Device flavour (its :class:`SubthresholdParams` provide the
+        coefficients; geometry provides the roll-off reference point).
+    vds:
+        Normalized drain-source voltage (>= 0 after source/drain ordering).
+    vbs:
+        Normalized bulk-source voltage (<= 0 for a reverse-biased body).
+    temperature_k:
+        Device temperature in kelvin.
+    """
+    sub = device.subthreshold
+    vth = sub.vth0
+
+    # Body effect: a source above the bulk (vbs < 0 in the normalized frame)
+    # raises the threshold; this is what weakens the top transistor of a
+    # stack and produces the stacking effect.
+    sqrt_arg = sub.phi_s - vbs
+    if sqrt_arg < 0.0:
+        sqrt_arg = 0.0
+    vth += sub.body_gamma * (math.sqrt(sqrt_arg) - math.sqrt(sub.phi_s))
+
+    # Drain induced barrier lowering.
+    vth -= sub.dibl * max(vds, 0.0)
+
+    # Temperature coefficient (Vth falls as temperature rises).
+    vth += sub.vth_temp_coeff * (temperature_k - ROOM_TEMPERATURE_K)
+
+    # Short-channel geometry sensitivities relative to the preset's nominal
+    # geometry: a thicker oxide or shorter channel weakens gate control and
+    # lowers Vth (Fig. 4b); a heavier halo restores it (Fig. 4a).
+    if sub.tox_ref_nm is not None:
+        vth -= sub.sce_tox_coeff * (device.tox_nm - sub.tox_ref_nm)
+    if sub.length_ref_nm is not None:
+        vth += sub.sce_length_coeff * (device.length_nm - sub.length_ref_nm)
+    halo_ratio = device.btbt.halo_cm3 / device.btbt.halo_ref_cm3
+    if halo_ratio > 0 and halo_ratio != 1.0:
+        vth += sub.halo_vth_coeff * math.log10(halo_ratio)
+
+    return vth
+
+
+def specific_current(device: DeviceParams, temperature_k: float) -> float:
+    """Return the EKV specific current I_S in amperes.
+
+    I_S = 2 * n * mu(T) * Cox * vT(T)^2 * (W/L)
+    """
+    sub = device.subthreshold
+    vt = thermal_voltage(temperature_k)
+    mobility = sub.mobility_m2 * (
+        temperature_k / ROOM_TEMPERATURE_K
+    ) ** (-sub.mobility_temp_exponent)
+    cox = oxide_capacitance_per_area(device.tox_nm)
+    w_over_l = device.width_nm / device.length_nm
+    return 2.0 * sub.n_swing * mobility * cox * vt * vt * w_over_l
+
+
+def channel_current(
+    device: DeviceParams,
+    vgs: float,
+    vds: float,
+    vbs: float,
+    temperature_k: float,
+    vth_shift: float = 0.0,
+) -> float:
+    """Return the channel (drain-to-source) current in amperes.
+
+    All voltages are in the normalized (NMOS-like) frame with ``vds >= 0``;
+    :class:`repro.device.mosfet.Mosfet` handles polarity mirroring and
+    source/drain ordering before calling this function.
+
+    Parameters
+    ----------
+    vth_shift:
+        Additional threshold shift (geometry/process) added on top of the
+        bias- and temperature-dependent effective threshold.
+    """
+    if vds < 0:
+        raise ValueError("channel_current expects vds >= 0 (normalized frame)")
+    sub = device.subthreshold
+    vt = thermal_voltage(temperature_k)
+    vth = effective_threshold(device, vds, vbs, temperature_k) + vth_shift
+
+    # Pinch-off voltage approximation, source referenced.
+    vp = (vgs - vth) / sub.n_swing
+    i_spec = specific_current(device, temperature_k)
+
+    # Vertical-field mobility degradation: active only above threshold, so the
+    # subthreshold (leakage) region is untouched while the on-state
+    # conductance — which sets how far loading currents move driven nets —
+    # is reduced to realistic values.
+    overdrive = vgs - vth
+    if overdrive > 0.0 and sub.theta_mobility > 0.0:
+        i_spec /= 1.0 + sub.theta_mobility * overdrive
+
+    forward = log1p_exp(vp / (2.0 * vt)) ** 2
+    reverse = log1p_exp((vp - vds) / (2.0 * vt)) ** 2
+    current = i_spec * (forward - reverse)
+    return current * device.isub_scale
+
+
+def is_off(
+    device: DeviceParams,
+    vgs: float,
+    vds: float,
+    vbs: float,
+    temperature_k: float,
+    vth_shift: float = 0.0,
+    margin: float = 0.0,
+) -> bool:
+    """Return True when the device operates below threshold.
+
+    Used by leakage reports to attribute channel current to the
+    "subthreshold" component only for transistors that are actually off.
+    """
+    vth = effective_threshold(device, max(vds, 0.0), vbs, temperature_k) + vth_shift
+    return vgs < vth - margin

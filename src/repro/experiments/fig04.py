@@ -1,0 +1,114 @@
+"""Fig. 4: variation of the leakage components with device parameters.
+
+The paper's Fig. 4 shows, for a single transistor, how the subthreshold, gate
+and junction-BTBT components move with (a) the halo doping, (b) the oxide
+thickness and (c) the temperature.  The qualitative signatures that matter
+for everything downstream are:
+
+* halo up   -> subthreshold down, BTBT up (strongly), gate flat;
+* tox up    -> gate down (strongly), subthreshold up, BTBT flat;
+* T up      -> subthreshold up (exponentially), gate ~flat, BTBT up slightly;
+  at room temperature gate (+BTBT) dominate, at elevated temperature
+  subthreshold takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.mosfet import Mosfet
+from repro.device.params import TechnologyParams
+from repro.device.presets import make_technology
+from repro.utils.tables import format_table
+
+
+@dataclass
+class DeviceTrendSeries:
+    """One swept parameter and the resulting component currents (A)."""
+
+    parameter: str
+    values: list[float]
+    subthreshold: list[float] = field(default_factory=list)
+    gate: list[float] = field(default_factory=list)
+    btbt: list[float] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        """Render the series as a plain-text table (currents in nA)."""
+        rows = [
+            [value, sub * 1e9, gate * 1e9, btbt * 1e9]
+            for value, sub, gate, btbt in zip(
+                self.values, self.subthreshold, self.gate, self.btbt
+            )
+        ]
+        return format_table(
+            [self.parameter, "Isub [nA]", "Igate [nA]", "Ibtbt [nA]"],
+            rows,
+            title=f"Fig. 4 sweep: {self.parameter}",
+        )
+
+
+@dataclass
+class Fig4Result:
+    """The three sweeps of Fig. 4."""
+
+    halo: DeviceTrendSeries
+    tox: DeviceTrendSeries
+    temperature: DeviceTrendSeries
+
+    def to_table(self) -> str:
+        """Render all three sweeps."""
+        return "\n\n".join(
+            series.to_table() for series in (self.halo, self.tox, self.temperature)
+        )
+
+
+def _off_state_components(
+    technology: TechnologyParams, device, temperature_k: float
+) -> tuple[float, float, float]:
+    """Return (Isub, Igate, Ibtbt) of an off NMOS with drain at VDD."""
+    mosfet = Mosfet(device)
+    currents = mosfet.terminal_currents(0.0, technology.vdd, 0.0, 0.0, temperature_k)
+    return currents.i_subthreshold, currents.i_gate, currents.i_btbt
+
+
+def run_fig4_device_trends(
+    technology: TechnologyParams | None = None,
+    halo_values_cm3: list[float] | None = None,
+    tox_values_nm: list[float] | None = None,
+    temperatures_k: list[float] | None = None,
+) -> Fig4Result:
+    """Run the three Fig. 4 sweeps on a single off NMOS transistor."""
+    technology = technology or make_technology("bulk-50nm")
+    nominal = technology.nmos
+    halo_values = halo_values_cm3 or list(
+        np.linspace(1.0e18, 8.0e18, 8)
+    )
+    tox_values = tox_values_nm or list(np.linspace(nominal.tox_nm - 0.2, nominal.tox_nm + 0.4, 7))
+    temperatures = temperatures_k or list(np.linspace(300.0, 400.0, 11))
+
+    halo_series = DeviceTrendSeries("halo doping [cm^-3]", [float(x) for x in halo_values])
+    for halo in halo_series.values:
+        device = nominal.replace_btbt(halo_cm3=halo)
+        sub, gate, btbt = _off_state_components(technology, device, technology.temperature_k)
+        halo_series.subthreshold.append(sub)
+        halo_series.gate.append(gate)
+        halo_series.btbt.append(btbt)
+
+    tox_series = DeviceTrendSeries("oxide thickness [nm]", [float(x) for x in tox_values])
+    for tox in tox_series.values:
+        device = nominal.replace(tox_nm=tox)
+        sub, gate, btbt = _off_state_components(technology, device, technology.temperature_k)
+        tox_series.subthreshold.append(sub)
+        tox_series.gate.append(gate)
+        tox_series.btbt.append(btbt)
+
+    temp_series = DeviceTrendSeries("temperature [K]", [float(x) for x in temperatures])
+    for temperature in temp_series.values:
+        sub, gate, btbt = _off_state_components(technology, nominal, temperature)
+        temp_series.subthreshold.append(sub)
+        temp_series.gate.append(gate)
+        temp_series.btbt.append(btbt)
+
+    return Fig4Result(halo=halo_series, tox=tox_series, temperature=temp_series)

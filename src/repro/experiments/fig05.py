@@ -1,0 +1,109 @@
+"""Fig. 5: input and output loading effect of an inverter.
+
+The paper sweeps the input loading current (I_L-IN) and the output loading
+current (I_L-OUT) from 0 to 3000 nA for an inverter at input '0' and input
+'1', and plots LD_IN / LD_OUT (Eq. 3) for each leakage component.  The
+signatures to reproduce:
+
+* input loading raises the subthreshold component (strongest response),
+  slightly lowers the gate component and leaves BTBT essentially unchanged;
+* output loading lowers all three, with BTBT responding most strongly;
+* both effects are larger with input '0' than input '1' for the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.loading import LoadingAnalyzer, LoadingEffect
+from repro.device.params import TechnologyParams
+from repro.device.presets import make_technology
+from repro.gates.library import GateType
+from repro.utils.tables import format_table
+
+#: Default loading-current sweep, matching the paper's 0-3000 nA x-axis.
+DEFAULT_LOADING_SWEEP_A = tuple(np.linspace(0.0, 3.0e-6, 7))
+
+
+@dataclass
+class LoadingSweepSeries:
+    """LD values versus loading-current magnitude for one configuration."""
+
+    label: str
+    loading_currents: list[float]
+    effects: list[LoadingEffect] = field(default_factory=list)
+
+    def component(self, name: str) -> list[float]:
+        """Return the LD percentages of one component along the sweep."""
+        return [effect.component(name) for effect in self.effects]
+
+    def to_table(self) -> str:
+        """Render the sweep as a table (loading in nA, LD in percent)."""
+        rows = [
+            [
+                current * 1e9,
+                effect.subthreshold,
+                effect.gate,
+                effect.btbt,
+                effect.total,
+            ]
+            for current, effect in zip(self.loading_currents, self.effects)
+        ]
+        return format_table(
+            ["loading [nA]", "LD sub [%]", "LD gate [%]", "LD btbt [%]", "LD total [%]"],
+            rows,
+            title=self.label,
+        )
+
+
+@dataclass
+class Fig5Result:
+    """The four panels of Fig. 5."""
+
+    input_loading_in0: LoadingSweepSeries
+    output_loading_in0: LoadingSweepSeries
+    input_loading_in1: LoadingSweepSeries
+    output_loading_in1: LoadingSweepSeries
+
+    def panels(self) -> list[LoadingSweepSeries]:
+        """Return the four panels in the paper's (a)-(d) order."""
+        return [
+            self.input_loading_in0,
+            self.output_loading_in0,
+            self.input_loading_in1,
+            self.output_loading_in1,
+        ]
+
+    def to_table(self) -> str:
+        """Render all four panels."""
+        return "\n\n".join(panel.to_table() for panel in self.panels())
+
+
+def run_fig5_inverter_loading(
+    technology: TechnologyParams | None = None,
+    loading_currents: tuple[float, ...] = DEFAULT_LOADING_SWEEP_A,
+    gate_type: GateType = GateType.INV,
+) -> Fig5Result:
+    """Sweep input and output loading of an inverter at both input values."""
+    technology = technology or make_technology("bulk-25nm")
+    analyzer = LoadingAnalyzer(technology)
+    currents = [float(x) for x in loading_currents]
+
+    def sweep(vector: tuple[int, ...], pin: str, label: str) -> LoadingSweepSeries:
+        series = LoadingSweepSeries(label=label, loading_currents=currents)
+        for current in currents:
+            if pin == "y":
+                effect = analyzer.output_loading_effect(gate_type, vector, current)
+            else:
+                effect = analyzer.input_loading_effect(gate_type, vector, current, pin)
+            series.effects.append(effect)
+        return series
+
+    return Fig5Result(
+        input_loading_in0=sweep((0,), "a", "Fig. 5(a) LD_IN, input '0' output '1'"),
+        output_loading_in0=sweep((0,), "y", "Fig. 5(b) LD_OUT, input '0' output '1'"),
+        input_loading_in1=sweep((1,), "a", "Fig. 5(c) LD_IN, input '1' output '0'"),
+        output_loading_in1=sweep((1,), "y", "Fig. 5(d) LD_OUT, input '1' output '0'"),
+    )

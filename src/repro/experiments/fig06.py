@@ -1,0 +1,89 @@
+"""Fig. 6: overall loading effect (LD_ALL) versus input *and* output loading.
+
+The paper's Fig. 6 is a surface plot of LD_ALL of the total inverter leakage
+over the (I_L-IN, I_L-OUT) plane, for input '0' and input '1'.  The surface
+is dominated by the input-loading axis (subthreshold response) and is
+slightly pulled down along the output-loading axis; LD_ALL is larger with
+input '0'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.loading import LoadingAnalyzer
+from repro.device.params import TechnologyParams
+from repro.device.presets import make_technology
+from repro.gates.library import GateType
+from repro.utils.tables import format_table
+
+#: Default grid of loading magnitudes for the surface (A).
+DEFAULT_GRID_A = tuple(np.linspace(0.0, 3.0e-6, 4))
+
+
+@dataclass
+class LdAllSurface:
+    """LD_ALL of the total leakage over the (input, output) loading grid."""
+
+    label: str
+    input_loading: list[float]
+    output_loading: list[float]
+    ld_total_percent: np.ndarray  # shape (len(input_loading), len(output_loading))
+
+    def value(self, input_index: int, output_index: int) -> float:
+        """Return LD_ALL (%) at one grid point."""
+        return float(self.ld_total_percent[input_index, output_index])
+
+    def to_table(self) -> str:
+        """Render the surface with input loading as rows, output as columns."""
+        headers = ["IL-IN \\ IL-OUT [nA]"] + [
+            f"{x * 1e9:.0f}" for x in self.output_loading
+        ]
+        rows = []
+        for i, il in enumerate(self.input_loading):
+            rows.append([f"{il * 1e9:.0f}"] + list(self.ld_total_percent[i]))
+        return format_table(headers, rows, title=self.label)
+
+
+@dataclass
+class Fig6Result:
+    """The two LD_ALL surfaces of Fig. 6."""
+
+    input0: LdAllSurface
+    input1: LdAllSurface
+
+    def to_table(self) -> str:
+        """Render both surfaces."""
+        return f"{self.input0.to_table()}\n\n{self.input1.to_table()}"
+
+
+def run_fig6_ldall_surface(
+    technology: TechnologyParams | None = None,
+    grid: tuple[float, ...] = DEFAULT_GRID_A,
+) -> Fig6Result:
+    """Evaluate LD_ALL of an inverter over the (input, output) loading grid."""
+    technology = technology or make_technology("bulk-25nm")
+    analyzer = LoadingAnalyzer(technology)
+    grid_values = [float(x) for x in grid]
+
+    def surface(vector: tuple[int, ...], label: str) -> LdAllSurface:
+        data = np.zeros((len(grid_values), len(grid_values)))
+        for i, input_loading in enumerate(grid_values):
+            for j, output_loading in enumerate(grid_values):
+                effect = analyzer.overall_loading_effect(
+                    GateType.INV, vector, input_loading, output_loading
+                )
+                data[i, j] = effect.total
+        return LdAllSurface(
+            label=label,
+            input_loading=grid_values,
+            output_loading=grid_values,
+            ld_total_percent=data,
+        )
+
+    return Fig6Result(
+        input0=surface((0,), "Fig. 6(a) LD_ALL [%], input '0' output '1'"),
+        input1=surface((1,), "Fig. 6(b) LD_ALL [%], input '1' output '0'"),
+    )

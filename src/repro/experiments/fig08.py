@@ -1,0 +1,90 @@
+"""Fig. 8: loading effect for devices with different dominant leakage components.
+
+Section 5.1 of the paper compares three 25 nm device variants whose total
+leakage is similar but dominated by a different mechanism:
+
+* ``D25-S``  — subthreshold dominated: the *input* loading effect is largest
+  here, because input loading acts on the subthreshold leakage;
+* ``D25-G``  — gate-tunneling dominated: loading has the least effect;
+* ``D25-JN`` — junction-BTBT dominated: the *output* loading effect is the
+  largest here, because output loading changes |V_DB|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.loading import LoadingAnalyzer, LoadingEffect
+from repro.device.presets import DeviceVariant, make_technology
+from repro.gates.library import GateType
+from repro.utils.tables import format_table
+
+#: Default loading sweep (A).
+DEFAULT_LOADING_SWEEP_A = tuple(np.linspace(0.0, 3.0e-6, 5))
+
+#: The three Sec. 5.1 variants in the paper's order.
+VARIANTS = (DeviceVariant.D25_S, DeviceVariant.D25_G, DeviceVariant.D25_JN)
+
+
+@dataclass
+class VariantLoadingSeries:
+    """LD of the total leakage vs. loading current for one device variant."""
+
+    variant: DeviceVariant
+    loading_currents: list[float]
+    input_effects: list[LoadingEffect] = field(default_factory=list)
+    output_effects: list[LoadingEffect] = field(default_factory=list)
+
+    def max_input_total(self) -> float:
+        """Return the largest |LD_IN| of the total leakage along the sweep."""
+        return max(abs(e.total) for e in self.input_effects)
+
+    def max_output_total(self) -> float:
+        """Return the largest |LD_OUT| of the total leakage along the sweep."""
+        return max(abs(e.total) for e in self.output_effects)
+
+
+@dataclass
+class Fig8Result:
+    """Input/output loading responses of the three device variants."""
+
+    vector: tuple[int, ...]
+    series: dict[DeviceVariant, VariantLoadingSeries]
+
+    def to_table(self) -> str:
+        """Render the peak loading effects per variant."""
+        rows = []
+        for variant, data in self.series.items():
+            rows.append(
+                [variant.value, data.max_input_total(), data.max_output_total()]
+            )
+        return format_table(
+            ["device", "max |LD_IN| total [%]", "max |LD_OUT| total [%]"],
+            rows,
+            title=f"Fig. 8: loading effect by dominant component (input={self.vector})",
+        )
+
+
+def run_fig8_device_variants(
+    vector: tuple[int, ...] = (0,),
+    loading_currents: tuple[float, ...] = DEFAULT_LOADING_SWEEP_A,
+    temperature_k: float = 300.0,
+) -> Fig8Result:
+    """Sweep input/output loading of an inverter on the D25-S/G/JN variants."""
+    currents = [float(x) for x in loading_currents]
+    series: dict[DeviceVariant, VariantLoadingSeries] = {}
+    for variant in VARIANTS:
+        technology = make_technology(variant, temperature_k=temperature_k)
+        analyzer = LoadingAnalyzer(technology)
+        data = VariantLoadingSeries(variant=variant, loading_currents=currents)
+        for current in currents:
+            data.input_effects.append(
+                analyzer.input_loading_effect(GateType.INV, vector, current, "a")
+            )
+            data.output_effects.append(
+                analyzer.output_loading_effect(GateType.INV, vector, current)
+            )
+        series[variant] = data
+    return Fig8Result(vector=tuple(vector), series=series)

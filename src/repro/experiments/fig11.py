@@ -1,0 +1,99 @@
+"""Fig. 11: loading-induced shift of the leakage mean and standard deviation.
+
+The paper sweeps the inter-die threshold-voltage sigma (30, 40, 50 mV) and
+shows that accounting for the loading effect increases both the mean and —
+much more strongly — the standard deviation of the total leakage
+distribution (over 40 % at sigma_Vt = 50 mV in the paper's setup).  The
+experiment re-runs the Fig. 10 Monte-Carlo at each sigma and reports the
+percent change of mean and std between the loaded and unloaded populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.device.params import TechnologyParams
+from repro.device.presets import make_technology
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.tables import format_table
+from repro.variation.montecarlo import run_loaded_inverter_monte_carlo
+from repro.variation.spec import VariationSpec
+from repro.variation.statistics import loading_shift_of_mean, loading_shift_of_std
+
+#: Inter-die Vth sigmas swept by the paper, in volts.
+DEFAULT_SIGMA_VT_INTER_V = (0.030, 0.040, 0.050)
+
+
+@dataclass
+class Fig11Point:
+    """Loading-induced change of mean/std at one inter-die sigma."""
+
+    sigma_vth_inter_v: float
+    mean_shift_percent: float
+    std_shift_percent: float
+
+
+@dataclass
+class Fig11Result:
+    """The Fig. 11 sweep over inter-die threshold sigma."""
+
+    component: str
+    points: list[Fig11Point] = field(default_factory=list)
+
+    def mean_shifts(self) -> list[float]:
+        """Return the mean-shift series (left panel of Fig. 11)."""
+        return [point.mean_shift_percent for point in self.points]
+
+    def std_shifts(self) -> list[float]:
+        """Return the std-shift series (right panel of Fig. 11)."""
+        return [point.std_shift_percent for point in self.points]
+
+    def to_table(self) -> str:
+        """Render the sweep."""
+        rows = [
+            [
+                point.sigma_vth_inter_v * 1e3,
+                point.mean_shift_percent,
+                point.std_shift_percent,
+            ]
+            for point in self.points
+        ]
+        return format_table(
+            ["sigma Vt inter [mV]", "mean shift [%]", "std shift [%]"],
+            rows,
+            title=f"Fig. 11: loading effect on {self.component} leakage statistics",
+        )
+
+
+def run_fig11_variation_statistics(
+    technology: TechnologyParams | None = None,
+    sigma_values_v: tuple[float, ...] = DEFAULT_SIGMA_VT_INTER_V,
+    samples: int = 150,
+    rng: RngLike = 0,
+    component: str = "total",
+    base_spec: VariationSpec | None = None,
+) -> Fig11Result:
+    """Sweep the inter-die Vth sigma and collect mean/std loading shifts."""
+    technology = technology or make_technology("d25-s")
+    base_spec = base_spec or VariationSpec()
+    generator = ensure_rng(rng)
+    result = Fig11Result(component=component)
+    for sigma in sigma_values_v:
+        spec = base_spec.with_vth_inter_sigma(float(sigma))
+        monte_carlo = run_loaded_inverter_monte_carlo(
+            technology,
+            spec=spec,
+            samples=samples,
+            rng=generator,
+            input_value=0,
+        )
+        loaded = monte_carlo.values(component, loaded=True)
+        unloaded = monte_carlo.values(component, loaded=False)
+        result.points.append(
+            Fig11Point(
+                sigma_vth_inter_v=float(sigma),
+                mean_shift_percent=loading_shift_of_mean(loaded, unloaded),
+                std_shift_percent=loading_shift_of_std(loaded, unloaded),
+            )
+        )
+    return result

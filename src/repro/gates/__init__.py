@@ -1,0 +1,45 @@
+"""Gate library: logic specs, transistor templates, and leakage characterization.
+
+Public entry points:
+
+* :class:`GateType` / :func:`gate_spec` — the logic-level view of the library;
+* :func:`build_gate_transistors` — expand a gate instance into transistors;
+* :class:`GateLibrary` — characterized leakage lookup (nominal values,
+  per-pin loading responses, per-pin gate-tunneling injection currents) used
+  by the circuit-level estimator;
+* :func:`save_library` / :func:`load_library` — JSON persistence of the
+  characterization cache.
+"""
+
+from repro.gates.library import (
+    GateSpec,
+    GateType,
+    all_gate_types,
+    gate_spec,
+    inverting_gate_types,
+)
+from repro.gates.templates import build_gate_transistors, transistor_count
+from repro.gates.lut import GateVectorCharacterization, ResponseCurve
+from repro.gates.characterize import (
+    CharacterizationOptions,
+    GateCharacterizer,
+    GateLibrary,
+)
+from repro.gates.cache import load_library, save_library
+
+__all__ = [
+    "GateSpec",
+    "GateType",
+    "all_gate_types",
+    "gate_spec",
+    "inverting_gate_types",
+    "build_gate_transistors",
+    "transistor_count",
+    "GateVectorCharacterization",
+    "ResponseCurve",
+    "CharacterizationOptions",
+    "GateCharacterizer",
+    "GateLibrary",
+    "load_library",
+    "save_library",
+]

@@ -1,0 +1,140 @@
+"""JSON persistence of characterized gate-leakage records.
+
+Characterizing a full library takes a few seconds of DC solves; persisting
+the records lets repeated benchmark runs (and users embedding the estimator
+into larger flows) skip re-characterization.  The format is plain JSON so it
+is inspectable and diff-able; no attempt is made to be clever about floats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.gates.characterize import GateLibrary
+from repro.gates.lut import GateVectorCharacterization, ResponseCurve
+from repro.spice.analysis import ComponentBreakdown
+
+#: Format version written into every cache file.
+CACHE_FORMAT_VERSION = 1
+
+
+def _breakdown_to_dict(breakdown: ComponentBreakdown) -> dict[str, float]:
+    return {
+        "subthreshold": breakdown.subthreshold,
+        "gate": breakdown.gate,
+        "btbt": breakdown.btbt,
+    }
+
+
+def _breakdown_from_dict(data: dict[str, float]) -> ComponentBreakdown:
+    return ComponentBreakdown(
+        subthreshold=float(data["subthreshold"]),
+        gate=float(data["gate"]),
+        btbt=float(data["btbt"]),
+    )
+
+
+def _curve_to_dict(curve: ResponseCurve) -> dict[str, object]:
+    return {
+        "pin": curve.pin,
+        "injections": [float(x) for x in curve.injections],
+        "subthreshold": [float(x) for x in curve.subthreshold],
+        "gate": [float(x) for x in curve.gate],
+        "btbt": [float(x) for x in curve.btbt],
+    }
+
+
+def _curve_from_dict(data: dict[str, object]) -> ResponseCurve:
+    return ResponseCurve(
+        pin=str(data["pin"]),
+        injections=np.asarray(data["injections"], dtype=float),
+        subthreshold=np.asarray(data["subthreshold"], dtype=float),
+        gate=np.asarray(data["gate"], dtype=float),
+        btbt=np.asarray(data["btbt"], dtype=float),
+    )
+
+
+def record_to_dict(record: GateVectorCharacterization) -> dict[str, object]:
+    """Serialize one characterization record to plain JSON types."""
+    return {
+        "gate_type": record.gate_type_name,
+        "vector": list(record.vector),
+        "nominal": _breakdown_to_dict(record.nominal),
+        "output_voltage": record.output_voltage,
+        "input_voltages": dict(record.input_voltages),
+        "pin_injection": dict(record.pin_injection),
+        "responses": {pin: _curve_to_dict(c) for pin, c in record.responses.items()},
+    }
+
+
+def record_from_dict(data: dict[str, object]) -> GateVectorCharacterization:
+    """Deserialize one characterization record."""
+    return GateVectorCharacterization(
+        gate_type_name=str(data["gate_type"]),
+        vector=tuple(int(b) for b in data["vector"]),
+        nominal=_breakdown_from_dict(data["nominal"]),
+        output_voltage=float(data["output_voltage"]),
+        input_voltages={k: float(v) for k, v in dict(data["input_voltages"]).items()},
+        pin_injection={k: float(v) for k, v in dict(data["pin_injection"]).items()},
+        responses={
+            pin: _curve_from_dict(curve)
+            for pin, curve in dict(data["responses"]).items()
+        },
+    )
+
+
+def save_library(library: GateLibrary, path: str | Path) -> int:
+    """Write every cached record of ``library`` to ``path`` (JSON).
+
+    Returns the number of records written.
+    """
+    records = library.cached_records()
+    payload = {
+        "format_version": CACHE_FORMAT_VERSION,
+        "technology": library.technology.name,
+        "vdd": library.vdd,
+        "temperature_k": library.temperature_k,
+        "records": [record_to_dict(record) for record in records],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2))
+    return len(records)
+
+
+def load_library(library: GateLibrary, path: str | Path, strict: bool = True) -> int:
+    """Load records from ``path`` into ``library``'s cache.
+
+    Parameters
+    ----------
+    strict:
+        When True (default) the cache file must match the library's
+        technology name, supply and temperature; a mismatch raises
+        ``ValueError``.  When False the records are loaded regardless, which
+        is only appropriate for exploratory work.
+
+    Returns the number of records loaded.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != CACHE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported cache format version {payload.get('format_version')!r}"
+        )
+    if strict:
+        mismatches = []
+        if payload.get("technology") != library.technology.name:
+            mismatches.append("technology")
+        if abs(float(payload.get("vdd", -1.0)) - library.vdd) > 1e-9:
+            mismatches.append("vdd")
+        if abs(float(payload.get("temperature_k", -1.0)) - library.temperature_k) > 1e-9:
+            mismatches.append("temperature_k")
+        if mismatches:
+            raise ValueError(
+                f"characterization cache does not match the library ({', '.join(mismatches)})"
+            )
+    records = [record_from_dict(item) for item in payload["records"]]
+    library.load_records(records)
+    return len(records)

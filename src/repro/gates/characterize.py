@@ -1,0 +1,382 @@
+"""Gate leakage characterization under loading.
+
+This module produces the lookup tables the circuit-level estimator consumes.
+For every (gate type, input vector) it builds a small characterization cell:
+
+* the device under test (DUT), built from the transistor templates;
+* one nominal-size inverter *driver* per DUT input, so input nets are real
+  (finite-conductance) nets whose voltage a loading current can actually
+  perturb — exactly the situation of Fig. 1 of the paper;
+* the DUT output left floating except for the DUT's own pull network, so an
+  injected current perturbs it the same way fanout gate-tunneling does.
+
+The cell is solved with the reference DC solver, once without loading (the
+nominal record) and once per (pin, injection) grid point, giving the
+per-pin response curves of :class:`~repro.gates.lut.GateVectorCharacterization`.
+
+:class:`GateLibrary` wraps the characterizer with caching so a circuit-level
+run characterizes each (gate type, vector) at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.params import TechnologyParams
+from repro.gates.library import GateSpec, GateType, gate_spec
+from repro.gates.lut import GateVectorCharacterization, ResponseCurve
+from repro.gates.templates import build_gate_transistors
+from repro.spice.analysis import (
+    ComponentBreakdown,
+    gate_injection_at_node,
+    leakage_by_owner,
+)
+from repro.spice.netlist import TransistorNetlist
+from repro.spice.solver import DcSolver, OperatingPoint, SolverOptions
+
+#: Owner tag used for the device under test inside characterization cells.
+_DUT = "dut"
+
+#: Default signed loading-current grid (A): +/- 3.2 uA covers the 0-3000 nA
+#: range of the paper's Fig. 5-8 sweeps with headroom for large fanouts.
+DEFAULT_INJECTION_GRID = tuple(np.linspace(-3.2e-6, 3.2e-6, 9))
+
+
+@dataclass(frozen=True)
+class CharacterizationOptions:
+    """Options controlling the characterization cells.
+
+    Attributes
+    ----------
+    injection_grid:
+        Signed loading currents (A) characterized at every pin.
+    include_drivers:
+        When True (default) every DUT input is driven by a nominal inverter;
+        when False inputs are ideal rails (no input-loading response — useful
+        only for debugging the templates).
+    driver_fanout:
+        Width multiplier of the driver inverters; 1.0 models a minimum-size
+        upstream stage.
+    solver:
+        DC solver options used for every cell solve.
+    """
+
+    injection_grid: tuple[float, ...] = DEFAULT_INJECTION_GRID
+    include_drivers: bool = True
+    driver_fanout: float = 1.0
+    solver: SolverOptions = field(default_factory=SolverOptions)
+
+    def __post_init__(self) -> None:
+        grid = tuple(float(x) for x in self.injection_grid)
+        if len(grid) < 2:
+            raise ValueError("injection_grid needs at least two points")
+        if any(b <= a for a, b in zip(grid, grid[1:])):
+            raise ValueError("injection_grid must be strictly increasing")
+        object.__setattr__(self, "injection_grid", grid)
+        if self.driver_fanout <= 0:
+            raise ValueError("driver_fanout must be positive")
+
+
+@dataclass
+class CellSolution:
+    """Raw result of solving one characterization cell."""
+
+    netlist: TransistorNetlist
+    op: OperatingPoint
+    dut_breakdown: ComponentBreakdown
+    input_nets: dict[str, str]
+    output_net: str
+
+
+class GateCharacterizer:
+    """Builds and solves characterization cells for library gates."""
+
+    def __init__(
+        self,
+        technology: TechnologyParams,
+        temperature_k: float | None = None,
+        options: CharacterizationOptions | None = None,
+    ) -> None:
+        self.technology = technology
+        self.temperature_k = (
+            technology.temperature_k if temperature_k is None else float(temperature_k)
+        )
+        self.options = options or CharacterizationOptions()
+
+    # ------------------------------------------------------------------ #
+    # cell construction and solving
+    # ------------------------------------------------------------------ #
+    def solve_cell(
+        self,
+        gate_type: GateType | str,
+        vector: tuple[int, ...],
+        injections: dict[str, float] | None = None,
+    ) -> CellSolution:
+        """Build and solve one characterization cell.
+
+        Parameters
+        ----------
+        gate_type / vector:
+            The DUT and its input vector.
+        injections:
+            Optional loading currents (A) injected at DUT pins; keys are pin
+            names (``a``, ``b``, ..., ``y``).
+        """
+        spec = gate_spec(gate_type)
+        vector = self._check_vector(spec, vector)
+        injections = dict(injections or {})
+        unknown = set(injections) - set(spec.inputs) - {spec.output}
+        if unknown:
+            raise ValueError(f"unknown pins for {spec.name}: {sorted(unknown)}")
+
+        vdd = self.technology.vdd
+        netlist = TransistorNetlist(vdd=vdd)
+        pins: dict[str, str] = {}
+        input_nets: dict[str, str] = {}
+        initial: dict[str, float] = {}
+
+        for pin, bit in zip(spec.inputs, vector):
+            net = f"net_{pin}"
+            input_nets[pin] = net
+            pins[pin] = net
+            if self.options.include_drivers:
+                drive_in = f"drv_{pin}_in"
+                # The driver output must equal the DUT input bit, so the
+                # driver input is the complement.
+                netlist.add_node(drive_in, fixed_voltage=vdd * (1 - bit))
+                netlist.add_node(net)
+                self._build_driver(netlist, f"drv_{pin}", drive_in, net)
+                initial[net] = vdd * bit
+            else:
+                netlist.add_node(net, fixed_voltage=vdd * bit)
+
+        output_net = "net_y"
+        pins[spec.output] = output_net
+        netlist.add_node(output_net)
+        output_guess = vdd * spec.evaluate(vector)
+        initial[output_net] = output_guess
+
+        internal_nodes = build_gate_transistors(
+            netlist, self.technology, spec.gate_type, _DUT, pins, owner=_DUT
+        )
+        for node in internal_nodes:
+            initial[node] = output_guess
+
+        for pin, amps in injections.items():
+            if amps == 0.0:
+                continue
+            net = output_net if pin == spec.output else input_nets[pin]
+            netlist.add_current_source(net, amps)
+
+        solver = DcSolver(netlist, self.temperature_k, self.options.solver)
+        op = solver.solve(initial_voltages=initial)
+        breakdown = leakage_by_owner(netlist, op).get(_DUT, ComponentBreakdown())
+        return CellSolution(
+            netlist=netlist,
+            op=op,
+            dut_breakdown=breakdown,
+            input_nets=input_nets,
+            output_net=output_net,
+        )
+
+    def characterize(
+        self, gate_type: GateType | str, vector: tuple[int, ...]
+    ) -> GateVectorCharacterization:
+        """Return the full characterization record for (gate type, vector)."""
+        spec = gate_spec(gate_type)
+        vector = self._check_vector(spec, vector)
+        nominal_cell = self.solve_cell(spec.gate_type, vector)
+        nominal = nominal_cell.dut_breakdown
+
+        pin_injection: dict[str, float] = {}
+        input_voltages: dict[str, float] = {}
+        for pin, net in nominal_cell.input_nets.items():
+            input_voltages[pin] = nominal_cell.op.voltage(net)
+            pin_injection[pin] = gate_injection_at_node(
+                nominal_cell.netlist, nominal_cell.op, net
+            )
+
+        responses: dict[str, ResponseCurve] = {}
+        characterizable_pins = list(spec.inputs) + [spec.output]
+        for pin in characterizable_pins:
+            if pin != spec.output and not self.options.include_drivers:
+                # With ideal (fixed) inputs an injected current cannot move
+                # the input net, so there is no input-loading response.
+                continue
+            responses[pin] = self._response_curve(spec, vector, pin, nominal)
+
+        return GateVectorCharacterization(
+            gate_type_name=spec.name,
+            vector=vector,
+            nominal=nominal,
+            output_voltage=nominal_cell.op.voltage(nominal_cell.output_net),
+            input_voltages=input_voltages,
+            pin_injection=pin_injection,
+            responses=responses,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _response_curve(
+        self,
+        spec: GateSpec,
+        vector: tuple[int, ...],
+        pin: str,
+        nominal: ComponentBreakdown,
+    ) -> ResponseCurve:
+        grid = list(self.options.injection_grid)
+        if 0.0 not in grid:
+            grid = sorted(grid + [0.0])
+        subthreshold, gate, btbt = [], [], []
+        for amps in grid:
+            if amps == 0.0:
+                breakdown = nominal
+            else:
+                breakdown = self.solve_cell(
+                    spec.gate_type, vector, {pin: amps}
+                ).dut_breakdown
+            subthreshold.append(breakdown.subthreshold)
+            gate.append(breakdown.gate)
+            btbt.append(breakdown.btbt)
+        return ResponseCurve(
+            pin=pin,
+            injections=np.asarray(grid),
+            subthreshold=np.asarray(subthreshold),
+            gate=np.asarray(gate),
+            btbt=np.asarray(btbt),
+        )
+
+    def _build_driver(
+        self, netlist: TransistorNetlist, instance: str, input_net: str, output_net: str
+    ) -> None:
+        from repro.device.mosfet import Mosfet
+        from repro.spice.netlist import GROUND, SUPPLY
+
+        fanout = self.options.driver_fanout
+        nmos = self.technology.nmos.scaled_width(fanout)
+        pmos = self.technology.pmos.scaled_width(fanout)
+        netlist.add_transistor(
+            name=f"{instance}.mn",
+            mosfet=Mosfet(nmos),
+            gate=input_net,
+            drain=output_net,
+            source=GROUND,
+            bulk=GROUND,
+            owner=f"__{instance}",
+        )
+        netlist.add_transistor(
+            name=f"{instance}.mp",
+            mosfet=Mosfet(pmos),
+            gate=input_net,
+            drain=output_net,
+            source=SUPPLY,
+            bulk=SUPPLY,
+            owner=f"__{instance}",
+        )
+
+    @staticmethod
+    def _check_vector(spec: GateSpec, vector: tuple[int, ...]) -> tuple[int, ...]:
+        vector = tuple(int(bool(b)) for b in vector)
+        if len(vector) != spec.num_inputs:
+            raise ValueError(
+                f"{spec.name} expects {spec.num_inputs} input bits, got {len(vector)}"
+            )
+        return vector
+
+
+class GateLibrary:
+    """A characterized gate library bound to one technology and temperature.
+
+    The library characterizes lazily: the first request for a
+    (gate type, input vector) runs the characterization cells, subsequent
+    requests hit the in-memory cache.  :meth:`precharacterize` warms the
+    cache for a set of gate types (useful before timing benchmark runs).
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParams,
+        temperature_k: float | None = None,
+        options: CharacterizationOptions | None = None,
+    ) -> None:
+        self.technology = technology
+        self.characterizer = GateCharacterizer(technology, temperature_k, options)
+        self._cache: dict[tuple[str, tuple[int, ...]], GateVectorCharacterization] = {}
+
+    @property
+    def temperature_k(self) -> float:
+        """Return the characterization temperature in kelvin."""
+        return self.characterizer.temperature_k
+
+    @property
+    def vdd(self) -> float:
+        """Return the library supply voltage in volts."""
+        return self.technology.vdd
+
+    def spec(self, gate_type: GateType | str) -> GateSpec:
+        """Return the :class:`GateSpec` for ``gate_type``."""
+        return gate_spec(gate_type)
+
+    def characterization(
+        self, gate_type: GateType | str, vector: tuple[int, ...]
+    ) -> GateVectorCharacterization:
+        """Return (characterizing on first use) the record for (type, vector)."""
+        spec = gate_spec(gate_type)
+        key = (spec.name, tuple(int(bool(b)) for b in vector))
+        record = self._cache.get(key)
+        if record is None:
+            record = self.characterizer.characterize(spec.gate_type, key[1])
+            self._cache[key] = record
+        return record
+
+    def nominal_leakage(
+        self, gate_type: GateType | str, vector: tuple[int, ...]
+    ) -> ComponentBreakdown:
+        """Return the no-loading leakage breakdown for (type, vector)."""
+        return self.characterization(gate_type, vector).nominal
+
+    def pin_injection(
+        self, gate_type: GateType | str, vector: tuple[int, ...], pin: str
+    ) -> float:
+        """Return the signed current pin ``pin`` injects into its driving net (A)."""
+        record = self.characterization(gate_type, vector)
+        try:
+            return record.pin_injection[pin]
+        except KeyError as exc:
+            raise KeyError(
+                f"{record.gate_type_name} has no input pin {pin!r}"
+            ) from exc
+
+    def leakage_with_loading(
+        self,
+        gate_type: GateType | str,
+        vector: tuple[int, ...],
+        pin_injections: dict[str, float] | None = None,
+    ) -> ComponentBreakdown:
+        """Return the loading-aware leakage estimate for (type, vector)."""
+        return self.characterization(gate_type, vector).leakage_with_loading(
+            pin_injections
+        )
+
+    def precharacterize(self, gate_types: list[GateType | str]) -> int:
+        """Characterize every vector of the given gate types; return the count."""
+        count = 0
+        for gate_type in gate_types:
+            spec = gate_spec(gate_type)
+            for vector in spec.all_vectors():
+                self.characterization(spec.gate_type, vector)
+                count += 1
+        return count
+
+    def cached_records(self) -> list[GateVectorCharacterization]:
+        """Return every record currently in the cache."""
+        return list(self._cache.values())
+
+    def load_records(self, records: list[GateVectorCharacterization]) -> None:
+        """Seed the cache with previously characterized records."""
+        for record in records:
+            key = (record.gate_type_name, tuple(record.vector))
+            self._cache[key] = record

@@ -1,0 +1,177 @@
+"""Characterized leakage data structures (the estimator's lookup tables).
+
+The paper's circuit-level algorithm (Fig. 13) takes as input "leakage
+components of different gate type, size, loading" — i.e. a characterized
+library.  These containers hold that characterization:
+
+* :class:`ResponseCurve` — leakage components of one gate type / input vector
+  as a function of a *signed* loading current injected at one pin;
+* :class:`GateVectorCharacterization` — the full record for one
+  (gate type, input vector): nominal components, nominal node voltages, the
+  gate-tunneling current each input pin injects into its net, and one
+  response curve per pin (inputs and output).
+
+Lookups use piecewise-linear interpolation with flat extrapolation: loading
+currents beyond the characterized range saturate at the outermost
+characterized value rather than extrapolating an unphysical trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spice.analysis import ComponentBreakdown
+
+#: Component names stored by every response curve.
+COMPONENT_NAMES = ("subthreshold", "gate", "btbt")
+
+
+@dataclass(frozen=True)
+class ResponseCurve:
+    """Leakage components versus signed loading current at one pin.
+
+    Attributes
+    ----------
+    pin:
+        Pin name the loading current is injected at (``a``/``b``/... for
+        input loading, ``y`` for output loading).
+    injections:
+        Strictly increasing signed loading currents in amperes (positive =
+        current injected into the net).
+    subthreshold / gate / btbt:
+        Leakage component magnitudes (A) of the characterized gate at each
+        injection value.
+    """
+
+    pin: str
+    injections: np.ndarray
+    subthreshold: np.ndarray
+    gate: np.ndarray
+    btbt: np.ndarray
+
+    def __post_init__(self) -> None:
+        injections = np.asarray(self.injections, dtype=float)
+        if injections.ndim != 1 or injections.size < 2:
+            raise ValueError("a response curve needs at least two injection points")
+        if not np.all(np.diff(injections) > 0):
+            raise ValueError("injection values must be strictly increasing")
+        for name in COMPONENT_NAMES:
+            values = np.asarray(getattr(self, name), dtype=float)
+            if values.shape != injections.shape:
+                raise ValueError(f"component {name!r} length mismatch")
+        object.__setattr__(self, "injections", injections)
+        object.__setattr__(self, "subthreshold", np.asarray(self.subthreshold, float))
+        object.__setattr__(self, "gate", np.asarray(self.gate, float))
+        object.__setattr__(self, "btbt", np.asarray(self.btbt, float))
+
+    def breakdown_at(self, injection: float) -> ComponentBreakdown:
+        """Return the interpolated leakage breakdown at ``injection`` amps."""
+        return ComponentBreakdown(
+            subthreshold=float(np.interp(injection, self.injections, self.subthreshold)),
+            gate=float(np.interp(injection, self.injections, self.gate)),
+            btbt=float(np.interp(injection, self.injections, self.btbt)),
+        )
+
+    def delta_at(self, injection: float, nominal: ComponentBreakdown) -> ComponentBreakdown:
+        """Return the loading-induced change relative to ``nominal``."""
+        loaded = self.breakdown_at(injection)
+        return ComponentBreakdown(
+            subthreshold=loaded.subthreshold - nominal.subthreshold,
+            gate=loaded.gate - nominal.gate,
+            btbt=loaded.btbt - nominal.btbt,
+        )
+
+    @property
+    def max_injection(self) -> float:
+        """Return the largest characterized injection magnitude (A)."""
+        return float(max(abs(self.injections[0]), abs(self.injections[-1])))
+
+
+@dataclass(frozen=True)
+class GateVectorCharacterization:
+    """Characterized leakage record of one (gate type, input vector).
+
+    Attributes
+    ----------
+    gate_type_name:
+        Lowercase gate-type name (kept as a string so the record serializes
+        without importing the enum).
+    vector:
+        The input vector as a tuple of 0/1 values, ordered like the gate's
+        input pins.
+    nominal:
+        Leakage components with no loading (the gate driven by nominal
+        drivers, no neighbouring receivers).
+    output_voltage:
+        Solved output-node voltage at the nominal point (V).
+    input_voltages:
+        Solved input-net voltages at the nominal point, per pin (V).
+    pin_injection:
+        Signed gate-tunneling current each *input* pin injects into its
+        driving net at the nominal point (A); this is what neighbouring gates
+        sum into their loading currents I_L-IN / I_L-OUT.
+    responses:
+        Response curve per pin (all input pins plus the output pin ``y``).
+    """
+
+    gate_type_name: str
+    vector: tuple[int, ...]
+    nominal: ComponentBreakdown
+    output_voltage: float
+    input_voltages: dict[str, float]
+    pin_injection: dict[str, float]
+    responses: dict[str, ResponseCurve] = field(default_factory=dict)
+
+    @property
+    def vector_label(self) -> str:
+        """Return the paper-style vector string, e.g. ``"01"``."""
+        return "".join(str(int(b)) for b in self.vector)
+
+    def response(self, pin: str) -> ResponseCurve:
+        """Return the response curve of ``pin`` (KeyError if not characterized)."""
+        return self.responses[pin]
+
+    def leakage_with_loading(
+        self, pin_injections: dict[str, float] | None = None
+    ) -> ComponentBreakdown:
+        """Return the leakage estimate under the given per-pin loading currents.
+
+        The estimate combines per-pin characterized responses additively
+        around the nominal point (first-order superposition), which is
+        accurate because loading shifts leakage by only a few percent.  Pins
+        absent from ``pin_injections`` (or mapped to zero) contribute nothing.
+        """
+        if not pin_injections:
+            return self.nominal
+        sub = self.nominal.subthreshold
+        gate = self.nominal.gate
+        btbt = self.nominal.btbt
+        for pin, injection in pin_injections.items():
+            if injection == 0.0:
+                continue
+            curve = self.responses.get(pin)
+            if curve is None:
+                raise KeyError(
+                    f"pin {pin!r} of {self.gate_type_name} has no characterized response"
+                )
+            delta = curve.delta_at(injection, self.nominal)
+            sub += delta.subthreshold
+            gate += delta.gate
+            btbt += delta.btbt
+        return ComponentBreakdown(
+            subthreshold=max(sub, 0.0), gate=max(gate, 0.0), btbt=max(btbt, 0.0)
+        )
+
+    def loading_effect_percent(
+        self, pin_injections: dict[str, float], component: str = "total"
+    ) -> float:
+        """Return the paper's LD metric (Eqs. 3-5) in percent for a component."""
+        nominal = self.nominal.component(component)
+        if nominal == 0.0:
+            raise ZeroDivisionError(
+                f"nominal {component} leakage of {self.gate_type_name} is zero"
+            )
+        loaded = self.leakage_with_loading(pin_injections).component(component)
+        return 100.0 * (loaded - nominal) / nominal

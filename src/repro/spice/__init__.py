@@ -1,0 +1,46 @@
+"""Transistor-level DC operating-point solver (the "SPICE" substrate).
+
+The paper validates its loading-aware estimator against HSPICE.  HSPICE is
+not available here, so this package provides the piece of SPICE that leakage
+estimation actually needs: a DC operating-point solver over transistor-level
+netlists built from the compact models of :mod:`repro.device`.
+
+* :mod:`repro.spice.netlist` — nodes, transistor instances, current sources;
+* :mod:`repro.spice.solver` — Gauss–Seidel relaxation with bracketed scalar
+  KCL solves per node (robust for weakly coupled leakage networks);
+* :mod:`repro.spice.analysis` — per-device and per-gate leakage component
+  extraction at a solved operating point.
+
+The solver retains every coupling the paper cares about: internal stack nodes
+(the stacking effect) and the inter-gate coupling through gate tunneling
+currents (the loading effect), because each net's Kirchhoff equation is
+solved against the full set of attached transistors.
+"""
+
+from repro.spice.netlist import (
+    CurrentSource,
+    NodeKind,
+    TransistorInstance,
+    TransistorNetlist,
+)
+from repro.spice.solver import DcSolver, OperatingPoint, SolverOptions
+from repro.spice.analysis import (
+    ComponentBreakdown,
+    gate_injection_at_node,
+    leakage_by_owner,
+    total_leakage,
+)
+
+__all__ = [
+    "CurrentSource",
+    "NodeKind",
+    "TransistorInstance",
+    "TransistorNetlist",
+    "DcSolver",
+    "OperatingPoint",
+    "SolverOptions",
+    "ComponentBreakdown",
+    "gate_injection_at_node",
+    "leakage_by_owner",
+    "total_leakage",
+]

@@ -1,0 +1,161 @@
+"""Post-solve analysis: leakage components per transistor, per gate, per circuit.
+
+Once the DC solver has produced an :class:`~repro.spice.solver.OperatingPoint`
+this module re-evaluates every transistor at the solved voltages and
+aggregates the component magnitudes the paper reports:
+
+* ``subthreshold`` — channel current of transistors operating below threshold,
+* ``gate`` — total gate direct-tunneling magnitude,
+* ``btbt`` — total junction band-to-band-tunneling magnitude.
+
+Aggregation happens per *owner* (the logic-gate tag recorded on each
+transistor instance), which is what lets the circuit-level experiments compare
+the fast estimator against the reference solve gate by gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.mosfet import MosfetCurrents
+from repro.spice.netlist import TransistorNetlist
+from repro.spice.solver import OperatingPoint
+
+
+@dataclass(frozen=True)
+class ComponentBreakdown:
+    """Leakage split into the paper's three components (amperes)."""
+
+    subthreshold: float = 0.0
+    gate: float = 0.0
+    btbt: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Return the summed leakage current."""
+        return self.subthreshold + self.gate + self.btbt
+
+    def __add__(self, other: "ComponentBreakdown") -> "ComponentBreakdown":
+        return ComponentBreakdown(
+            subthreshold=self.subthreshold + other.subthreshold,
+            gate=self.gate + other.gate,
+            btbt=self.btbt + other.btbt,
+        )
+
+    def scaled(self, factor: float) -> "ComponentBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        return ComponentBreakdown(
+            subthreshold=self.subthreshold * factor,
+            gate=self.gate * factor,
+            btbt=self.btbt * factor,
+        )
+
+    def component(self, name: str) -> float:
+        """Return a component by name (``subthreshold``/``gate``/``btbt``/``total``)."""
+        if name == "total":
+            return self.total
+        if name in ("subthreshold", "gate", "btbt"):
+            return getattr(self, name)
+        raise KeyError(f"unknown leakage component {name!r}")
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the breakdown (including total) as a plain dictionary."""
+        return {
+            "subthreshold": self.subthreshold,
+            "gate": self.gate,
+            "btbt": self.btbt,
+            "total": self.total,
+        }
+
+    def power(self, vdd: float) -> float:
+        """Return the static power (W) at supply voltage ``vdd``."""
+        return self.total * vdd
+
+
+def transistor_currents(
+    netlist: TransistorNetlist, op: OperatingPoint
+) -> dict[str, MosfetCurrents]:
+    """Return the solved :class:`MosfetCurrents` of every transistor instance."""
+    result: dict[str, MosfetCurrents] = {}
+    voltages = op.voltages
+    for transistor in netlist.transistors:
+        result[transistor.name] = transistor.mosfet.terminal_currents(
+            voltages[transistor.gate],
+            voltages[transistor.drain],
+            voltages[transistor.source],
+            voltages[transistor.bulk],
+            op.temperature_k,
+        )
+    return result
+
+
+def _breakdown_from_currents(currents: MosfetCurrents) -> ComponentBreakdown:
+    return ComponentBreakdown(
+        subthreshold=currents.i_subthreshold,
+        gate=currents.i_gate,
+        btbt=currents.i_btbt,
+    )
+
+
+def leakage_by_owner(
+    netlist: TransistorNetlist, op: OperatingPoint
+) -> dict[str, ComponentBreakdown]:
+    """Return the leakage breakdown aggregated per owner (logic gate).
+
+    Transistors without an owner tag are aggregated under the empty-string
+    key so nothing is silently dropped.
+    """
+    per_owner: dict[str, ComponentBreakdown] = {}
+    for transistor, currents in zip(
+        netlist.transistors, transistor_currents(netlist, op).values()
+    ):
+        breakdown = _breakdown_from_currents(currents)
+        key = transistor.owner
+        if key in per_owner:
+            per_owner[key] = per_owner[key] + breakdown
+        else:
+            per_owner[key] = breakdown
+    return per_owner
+
+
+def total_leakage(netlist: TransistorNetlist, op: OperatingPoint) -> ComponentBreakdown:
+    """Return the leakage breakdown summed over the whole netlist."""
+    total = ComponentBreakdown()
+    for currents in transistor_currents(netlist, op).values():
+        total = total + _breakdown_from_currents(currents)
+    return total
+
+
+def gate_injection_at_node(
+    netlist: TransistorNetlist,
+    op: OperatingPoint,
+    node: str,
+    exclude_owners: set[str] | frozenset[str] = frozenset(),
+) -> float:
+    """Return the signed gate-tunneling current receivers inject into ``node``.
+
+    This is the paper's loading current seen by the net: the sum of the gate
+    terminal currents of every transistor whose *gate* connects to ``node``
+    (optionally excluding the transistors of some owners, e.g. the gate under
+    study itself).  Positive values mean the receivers inject current into
+    the node (which happens when the node sits at logic '0'); negative values
+    mean they draw current from it (node at logic '1').
+    """
+    voltages = op.voltages
+    injection = 0.0
+    for transistor in netlist.transistors:
+        if transistor.gate != node:
+            continue
+        if transistor.owner in exclude_owners:
+            continue
+        currents = transistor.mosfet.terminal_currents(
+            voltages[transistor.gate],
+            voltages[transistor.drain],
+            voltages[transistor.source],
+            voltages[transistor.bulk],
+            op.temperature_k,
+        )
+        # ``ig`` is the current flowing from the node into the gate terminal;
+        # the injection *into* the node is its negation.
+        injection -= currents.ig
+    return injection

@@ -1,0 +1,114 @@
+"""Numerically robust scalar math helpers used throughout the compact models.
+
+The compact leakage models contain exponentials of large arguments (for
+example the on-state of a transistor evaluated with the subthreshold
+formula).  The helpers here keep those evaluations finite and smooth so the
+DC solver never sees an overflow or a kink.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Largest exponent handed to ``math.exp``; exp(700) is near the float64 max.
+_MAX_EXP_ARG = 60.0
+
+
+def safe_exp(x: float, max_arg: float = _MAX_EXP_ARG) -> float:
+    """Return ``exp(x)`` with the argument clipped to ``[-max_arg, max_arg]``.
+
+    Clipping at +/-60 keeps the result comfortably inside float64 range while
+    preserving ~26 decades of dynamic range, far more than any physical
+    leakage ratio in the models.
+    """
+    if x > max_arg:
+        x = max_arg
+    elif x < -max_arg:
+        x = -max_arg
+    return math.exp(x)
+
+
+def log1p_exp(x: float) -> float:
+    """Return ``log(1 + exp(x))`` without overflow (softplus).
+
+    Used by the EKV-style smooth channel-current interpolation between the
+    subthreshold and strong-inversion regimes.
+    """
+    if x > _MAX_EXP_ARG:
+        return x
+    if x < -_MAX_EXP_ARG:
+        return math.exp(x)
+    return math.log1p(math.exp(x))
+
+
+def clamp(value: float, lower: float, upper: float) -> float:
+    """Clamp ``value`` into the closed interval ``[lower, upper]``."""
+    if lower > upper:
+        raise ValueError(f"invalid clamp interval [{lower}, {upper}]")
+    if value < lower:
+        return lower
+    if value > upper:
+        return upper
+    return value
+
+
+def smooth_step(x: float, width: float = 1.0) -> float:
+    """Return a smooth 0-to-1 transition of ``x`` over the given width.
+
+    A logistic step centred at zero, used to blend bias-dependent model terms
+    without introducing derivative discontinuities.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return 1.0 / (1.0 + safe_exp(-x / width))
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """Return ``(value - reference) / reference``.
+
+    This is the paper's loading-effect metric shape (Eqs. 3-5).  A zero
+    reference raises ``ZeroDivisionError`` so silent nonsense never
+    propagates into figures.
+    """
+    if reference == 0.0:
+        raise ZeroDivisionError("relative difference against a zero reference")
+    return (value - reference) / reference
+
+
+def percent_difference(value: float, reference: float) -> float:
+    """Return the relative difference expressed in percent."""
+    return 100.0 * relative_difference(value, reference)
+
+
+def interp_linear(x: float, xs, ys) -> float:
+    """Piecewise-linear interpolation with flat extrapolation at the ends.
+
+    ``xs`` must be strictly increasing.  Flat (clamped) extrapolation is the
+    safe choice for characterized leakage responses: loading currents outside
+    the characterized range saturate at the last characterized value instead
+    of extrapolating an unphysical trend.
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if n == 0:
+        raise ValueError("cannot interpolate empty tables")
+    if n == 1:
+        return float(ys[0])
+    if x <= xs[0]:
+        return float(ys[0])
+    if x >= xs[-1]:
+        return float(ys[-1])
+    lo, hi = 0, n - 1
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if xs[mid] <= x:
+            lo = mid
+        else:
+            hi = mid
+    x0, x1 = xs[lo], xs[hi]
+    y0, y1 = ys[lo], ys[hi]
+    if x1 == x0:
+        return float(y0)
+    frac = (x - x0) / (x1 - x0)
+    return float(y0 + frac * (y1 - y0))

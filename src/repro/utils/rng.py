@@ -1,0 +1,41 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library (random input vectors, synthetic
+benchmark circuits, Monte-Carlo process variation) accepts either a seed or a
+``numpy.random.Generator``.  Centralising the coercion keeps experiments
+reproducible: the same seed always produces the same circuit, the same vector
+set and the same Monte-Carlo samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = int | np.random.Generator | None
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``rng``.
+
+    ``None`` produces a freshly seeded generator (non-reproducible), an
+    integer is used as a seed, and an existing generator is passed through
+    unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a random generator from {type(rng).__name__}")
+
+
+def spawn_child(rng: np.random.Generator) -> np.random.Generator:
+    """Return an independent child generator derived from ``rng``.
+
+    Used when one experiment needs several independent random streams (for
+    example inter-die versus intra-die variation samples) that must not
+    perturb each other's sequences when sample counts change.
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,43 @@
+"""Process-variation analysis (Sec. 5.3 of the paper).
+
+Random variation of channel length, oxide thickness, threshold voltage and
+supply voltage spreads the leakage of every gate; the paper shows (Figs. 10
+and 11) that considering the loading effect visibly reshapes those
+distributions — most strongly for the subthreshold component — and inflates
+the standard deviation of the total leakage.
+
+* :mod:`repro.variation.spec` — the variation magnitudes (inter-die and
+  intra-die) and the sampling of per-die / per-transistor parameter shifts;
+* :mod:`repro.variation.montecarlo` — the Monte-Carlo driver that re-solves
+  the loaded and unloaded inverter structures of Fig. 10 for every sample;
+* :mod:`repro.variation.statistics` — distribution summaries and the
+  loading-induced shift of the mean and standard deviation (Fig. 11).
+"""
+
+from repro.variation.spec import InterDieSample, VariationSpec, apply_inter_die
+from repro.variation.montecarlo import (
+    MonteCarloResult,
+    MonteCarloSample,
+    run_loaded_inverter_monte_carlo,
+)
+from repro.variation.statistics import (
+    DistributionSummary,
+    histogram,
+    loading_shift_of_mean,
+    loading_shift_of_std,
+    summarize,
+)
+
+__all__ = [
+    "InterDieSample",
+    "VariationSpec",
+    "apply_inter_die",
+    "MonteCarloResult",
+    "MonteCarloSample",
+    "run_loaded_inverter_monte_carlo",
+    "DistributionSummary",
+    "histogram",
+    "loading_shift_of_mean",
+    "loading_shift_of_std",
+    "summarize",
+]

@@ -1,0 +1,96 @@
+"""Distribution statistics for the Monte-Carlo variation study.
+
+Fig. 10 of the paper shows the leakage-component histograms with and without
+loading; Fig. 11 shows how the loading effect shifts the *mean* and the
+*standard deviation* of the total leakage as the inter-die threshold
+variation grows.  These helpers compute exactly those quantities from a
+:class:`~repro.variation.montecarlo.MonteCarloResult` (or from any pair of
+sample arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of one sampled leakage population."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p05: float
+    p95: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dictionary."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p05": self.p05,
+            "p95": self.p95,
+        }
+
+
+def summarize(values: np.ndarray) -> DistributionSummary:
+    """Return the :class:`DistributionSummary` of ``values``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    return DistributionSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        p05=float(np.percentile(values, 5)),
+        p95=float(np.percentile(values, 95)),
+    )
+
+
+def histogram(
+    values: np.ndarray, bins: int = 20, value_range: tuple[float, float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (counts, bin_edges) of ``values`` — the Fig. 10 histogram data."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot histogram an empty sample set")
+    if bins < 1:
+        raise ValueError("bins must be at least 1")
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    return counts, edges
+
+
+def _percent_change(loaded: float, unloaded: float) -> float:
+    if unloaded == 0.0:
+        return 0.0
+    return 100.0 * (loaded - unloaded) / unloaded
+
+
+def loading_shift_of_mean(loaded: np.ndarray, unloaded: np.ndarray) -> float:
+    """Return the loading-induced change of the distribution mean, in percent.
+
+    This is the left panel of Fig. 11 ("LDALL - Mean of Leakage").
+    """
+    return _percent_change(float(np.mean(loaded)), float(np.mean(unloaded)))
+
+
+def loading_shift_of_std(loaded: np.ndarray, unloaded: np.ndarray) -> float:
+    """Return the loading-induced change of the standard deviation, in percent.
+
+    This is the right panel of Fig. 11 ("LDALL - STD of Leakage"); the paper
+    reports increases above 40 % at sigma_Vt(inter) = 50 mV.
+    """
+    loaded = np.asarray(loaded, dtype=float)
+    unloaded = np.asarray(unloaded, dtype=float)
+    std_loaded = float(loaded.std(ddof=1)) if loaded.size > 1 else 0.0
+    std_unloaded = float(unloaded.std(ddof=1)) if unloaded.size > 1 else 0.0
+    return _percent_change(std_loaded, std_unloaded)

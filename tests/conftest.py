@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Characterizing gates and solving transistor-level netlists are the expensive
+operations of this library, so the fixtures that own them are session-scoped:
+every test module reuses one characterized :class:`GateLibrary` per
+technology and one :class:`LoadingAnalyzer`, which keeps the full suite fast
+while still exercising the real numerical paths (nothing is mocked).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.loading import LoadingAnalyzer
+from repro.device.presets import make_technology
+from repro.gates.characterize import CharacterizationOptions, GateLibrary
+
+#: Reduced injection grid used by test libraries: spans the same +/- 3.2 uA
+#: range with fewer points so first-use characterization stays quick.
+FAST_GRID = (-3.2e-6, -1.6e-6, 0.0, 1.6e-6, 3.2e-6)
+
+
+@pytest.fixture(scope="session")
+def bulk25():
+    """The default 25 nm technology."""
+    return make_technology("bulk-25nm")
+
+
+@pytest.fixture(scope="session")
+def bulk50():
+    """The 50 nm technology of Sec. 2.1."""
+    return make_technology("bulk-50nm")
+
+
+@pytest.fixture(scope="session")
+def d25s():
+    """The subthreshold-dominated variant used by circuit-level experiments."""
+    return make_technology("d25-s")
+
+
+@pytest.fixture(scope="session")
+def library25(bulk25):
+    """A characterized library on the 25 nm technology (session cache)."""
+    return GateLibrary(bulk25, options=CharacterizationOptions(injection_grid=FAST_GRID))
+
+
+@pytest.fixture(scope="session")
+def library_d25s(d25s):
+    """A characterized library on the subthreshold-dominated variant."""
+    return GateLibrary(d25s, options=CharacterizationOptions(injection_grid=FAST_GRID))
+
+
+@pytest.fixture(scope="session")
+def analyzer25(bulk25):
+    """A loading analyzer on the 25 nm technology."""
+    return LoadingAnalyzer(bulk25)

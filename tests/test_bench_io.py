@@ -1,0 +1,118 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.circuit.bench_io import BenchFormatError, parse_bench, read_bench, write_bench
+from repro.circuit.generators import nand_tree
+from repro.circuit.logic import propagate, random_vectors
+from repro.gates.library import GateType
+
+SAMPLE = """
+# small sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G9)
+G5 = NAND(G1, G2)
+G6 = NOT(G3)
+G7 = AND(G5, G6)
+G8 = DFF(G7)
+G9 = NOR(G8, G6)
+"""
+
+
+class TestParsing:
+    def test_sample_structure(self):
+        circuit = parse_bench(SAMPLE, name="sample")
+        # DFF output G8 becomes a pseudo primary input, its data input G7 a
+        # pseudo primary output.
+        assert set(circuit.primary_inputs) == {"G1", "G2", "G3", "G8"}
+        assert set(circuit.primary_outputs) == {"G9", "G7"}
+        assert circuit.gate_count == 4
+        circuit.validate()
+
+    def test_gate_types_mapped(self):
+        circuit = parse_bench(SAMPLE)
+        types = circuit.gate_type_histogram()
+        assert types == {"and2": 1, "inv": 1, "nand2": 1, "nor2": 1}
+
+    def test_logic_of_parsed_circuit(self):
+        circuit = parse_bench(SAMPLE)
+        values = propagate(circuit, {"G1": 1, "G2": 1, "G3": 0, "G8": 0})
+        assert values["G5"] == 0      # NAND(1,1)
+        assert values["G6"] == 1      # NOT(0)
+        assert values["G7"] == 0      # AND(0,1)
+        assert values["G9"] == 0      # NOR(0,1)
+
+    def test_wide_gate_decomposed(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        INPUT(c)
+        INPUT(d)
+        INPUT(e)
+        OUTPUT(y)
+        y = NAND(a, b, c, d, e)
+        """
+        circuit = parse_bench(text)
+        circuit.validate()
+        # Logic must still be a 5-input NAND.
+        for bits in [(1, 1, 1, 1, 1), (1, 1, 0, 1, 1), (0, 0, 0, 0, 0)]:
+            assignment = dict(zip("abcde", bits))
+            values = propagate(circuit, assignment)
+            assert values["y"] == (0 if all(bits) else 1)
+
+    def test_single_input_and_degenerates_to_buffer(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n"
+        circuit = parse_bench(text)
+        assert list(circuit.gates.values())[0].gate_type is GateType.BUF
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(BenchFormatError, match="unsupported"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchFormatError, match="cannot parse"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_not_with_two_inputs_rejected(self):
+        with pytest.raises(BenchFormatError):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n")
+
+
+class TestWriting:
+    def test_roundtrip_preserves_logic(self):
+        original = nand_tree(3)
+        text = write_bench(original)
+        parsed = parse_bench(text, name="roundtrip")
+        assert set(parsed.primary_inputs) == set(original.primary_inputs)
+        for vector in random_vectors(original, 8, rng=7):
+            original_values = propagate(original, vector)
+            parsed_values = propagate(parsed, vector)
+            for net in original.primary_outputs:
+                assert original_values[net] == parsed_values[net]
+
+    def test_write_to_file(self, tmp_path):
+        circuit = nand_tree(2)
+        path = tmp_path / "tree.bench"
+        write_bench(circuit, path)
+        loaded = read_bench(path)
+        assert loaded.gate_count == circuit.gate_count
+        assert loaded.name == "tree"
+
+    def test_complex_gates_exported_as_primitives(self):
+        from repro.circuit.netlist import Circuit
+
+        circuit = Circuit(name="aoi")
+        for net in ("a", "b", "c"):
+            circuit.add_input(net)
+        circuit.add_gate("g", GateType.AOI21, ["a", "b", "c"], "y")
+        circuit.add_output("y")
+        text = write_bench(circuit)
+        parsed = parse_bench(text)
+        for bits in [(0, 0, 0), (1, 1, 0), (0, 1, 1), (1, 0, 0)]:
+            assignment = dict(zip("abc", bits))
+            assert (
+                propagate(parsed, assignment)["y"]
+                == propagate(circuit, assignment)["y"]
+            )

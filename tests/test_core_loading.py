@@ -1,0 +1,143 @@
+"""Tests for the LD_IN / LD_OUT / LD_ALL loading-effect metrics.
+
+These tests pin down the *qualitative claims* of the paper's Sections 4-5:
+the directions, the component orderings, and the dependence on the dominant
+leakage mechanism.  They run against the exact characterization-cell solves
+(no LUT approximations).
+"""
+
+import pytest
+
+from repro.core.loading import LoadingAnalyzer, LoadingEffect
+from repro.device.presets import make_technology
+from repro.gates.library import GateType
+
+LOAD = 2.5e-6  # a representative loading-current magnitude (A)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return LoadingAnalyzer(make_technology("bulk-25nm"))
+
+
+class TestLoadingEffectContainer:
+    def test_component_accessor(self):
+        effect = LoadingEffect(1.0, -2.0, 3.0, 0.5)
+        assert effect.component("gate") == -2.0
+        assert effect.as_dict()["total"] == 0.5
+        with pytest.raises(KeyError):
+            effect.component("bogus")
+
+
+class TestSignedInjection:
+    def test_sign_follows_pin_level(self, analyzer):
+        # Input pin at '0' -> loading injects current (+); at '1' -> draws (-).
+        assert analyzer.signed_injection(GateType.INV, (0,), "a", 1e-6) > 0
+        assert analyzer.signed_injection(GateType.INV, (1,), "a", 1e-6) < 0
+        # Output of INV with input '0' is '1' -> loading draws current.
+        assert analyzer.signed_injection(GateType.INV, (0,), "y", 1e-6) < 0
+        assert analyzer.signed_injection(GateType.INV, (1,), "y", 1e-6) > 0
+
+    def test_negative_magnitude_rejected(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.signed_injection(GateType.INV, (0,), "a", -1e-6)
+
+    def test_unknown_pin_rejected(self, analyzer):
+        with pytest.raises(KeyError):
+            analyzer.signed_injection(GateType.INV, (0,), "z", 1e-6)
+
+
+class TestInverterLoadingDirections:
+    """Paper Sec. 4 / Fig. 5 qualitative behaviour."""
+
+    def test_input_loading_raises_subthreshold_lowers_gate(self, analyzer):
+        effect = analyzer.input_loading_effect(GateType.INV, (0,), LOAD)
+        assert effect.subthreshold > 0
+        assert effect.gate < 0
+        assert abs(effect.btbt) < 0.5  # junction barely reacts to input loading
+        assert effect.total > 0
+
+    def test_output_loading_reduces_every_component(self, analyzer):
+        effect = analyzer.output_loading_effect(GateType.INV, (0,), LOAD)
+        assert effect.subthreshold < 0
+        assert effect.gate < 0
+        assert effect.btbt < 0
+        assert effect.total < 0
+
+    def test_subthreshold_most_sensitive_to_input_loading(self, analyzer):
+        effect = analyzer.input_loading_effect(GateType.INV, (0,), LOAD)
+        assert effect.subthreshold > abs(effect.gate)
+        assert effect.subthreshold > abs(effect.btbt)
+
+    def test_btbt_most_sensitive_to_output_loading(self, analyzer):
+        effect = analyzer.output_loading_effect(GateType.INV, (0,), LOAD)
+        assert abs(effect.btbt) >= abs(effect.gate)
+        assert abs(effect.btbt) >= abs(effect.subthreshold)
+
+    def test_loading_effect_grows_with_current(self, analyzer):
+        small = analyzer.input_loading_effect(GateType.INV, (0,), 0.5e-6)
+        large = analyzer.input_loading_effect(GateType.INV, (0,), 3.0e-6)
+        assert large.subthreshold > small.subthreshold > 0
+
+    def test_zero_loading_is_zero_effect(self, analyzer):
+        effect = analyzer.overall_loading_effect(GateType.INV, (0,), 0.0, 0.0)
+        assert effect.total == pytest.approx(0.0, abs=1e-6)
+
+    def test_ld_all_combines_both(self, analyzer):
+        combined = analyzer.overall_loading_effect(GateType.INV, (0,), LOAD, LOAD)
+        input_only = analyzer.input_loading_effect(GateType.INV, (0,), LOAD)
+        output_only = analyzer.output_loading_effect(GateType.INV, (0,), LOAD)
+        # The combined effect lies between the two single-sided ones.
+        assert output_only.total < combined.total < input_only.total
+
+    def test_nominal_cache_reused(self, analyzer):
+        first = analyzer.nominal(GateType.INV, (0,))
+        second = analyzer.nominal(GateType.INV, (0,))
+        assert first is second
+
+
+@pytest.mark.slow
+class TestNandVectorDependence:
+    """Paper Fig. 7: the loading effect depends on the NAND input vector."""
+
+    def test_input_loading_strongest_with_an_off_nmos(self, analyzer):
+        effect_01 = analyzer.input_loading_effect(GateType.NAND2, (0, 1), LOAD, "a")
+        effect_11 = analyzer.input_loading_effect(GateType.NAND2, (1, 1), LOAD, "a")
+        assert effect_01.total > effect_11.total
+
+    def test_stacking_mutes_00_relative_to_01(self, analyzer):
+        effect_00 = analyzer.input_loading_effect(GateType.NAND2, (0, 0), LOAD, "a")
+        effect_01 = analyzer.input_loading_effect(GateType.NAND2, (0, 1), LOAD, "a")
+        assert effect_01.subthreshold > effect_00.subthreshold
+
+    def test_output_loading_strongest_with_output_low(self, analyzer):
+        # Output '0' happens only for vector '11'.
+        effect_11 = analyzer.output_loading_effect(GateType.NAND2, (1, 1), LOAD)
+        effect_01 = analyzer.output_loading_effect(GateType.NAND2, (0, 1), LOAD)
+        assert abs(effect_11.total) > abs(effect_01.total)
+
+
+@pytest.mark.slow
+class TestDeviceVariantDependence:
+    """Paper Fig. 8: which component dominates decides the loading response."""
+
+    def test_input_loading_largest_for_subthreshold_dominated_device(self):
+        sub = LoadingAnalyzer(make_technology("d25-s"))
+        gate = LoadingAnalyzer(make_technology("d25-g"))
+        effect_sub = sub.input_loading_effect(GateType.INV, (0,), LOAD)
+        effect_gate = gate.input_loading_effect(GateType.INV, (0,), LOAD)
+        assert effect_sub.total > effect_gate.total
+
+    def test_output_loading_largest_for_junction_dominated_device(self):
+        junction = LoadingAnalyzer(make_technology("d25-jn"))
+        gate = LoadingAnalyzer(make_technology("d25-g"))
+        effect_jn = junction.output_loading_effect(GateType.INV, (0,), LOAD)
+        effect_gate = gate.output_loading_effect(GateType.INV, (0,), LOAD)
+        assert abs(effect_jn.total) > abs(effect_gate.total)
+
+    def test_temperature_amplifies_subthreshold_loading(self):
+        cold = LoadingAnalyzer(make_technology("bulk-25nm"), temperature_k=300.0)
+        hot = LoadingAnalyzer(make_technology("bulk-25nm"), temperature_k=360.0)
+        effect_cold = cold.overall_loading_effect(GateType.INV, (0,), LOAD, LOAD)
+        effect_hot = hot.overall_loading_effect(GateType.INV, (0,), LOAD, LOAD)
+        assert effect_hot.subthreshold > effect_cold.subthreshold

@@ -1,0 +1,107 @@
+"""Tests for vector campaigns, loading-impact statistics and vector search."""
+
+import pytest
+
+from repro.circuit.generators import loaded_inverter_cluster, nand_tree, random_logic
+from repro.circuit.logic import random_vectors
+from repro.core.baseline import NoLoadingEstimator
+from repro.core.estimator import LoadingAwareEstimator
+from repro.core.vectors import (
+    loading_impact_statistics,
+    minimum_leakage_vector,
+    run_vector_campaign,
+)
+
+
+class TestVectorCampaign:
+    def test_campaign_collects_reports(self, library_d25s):
+        circuit = nand_tree(2)
+        estimator = LoadingAwareEstimator(library_d25s)
+        campaign = run_vector_campaign(estimator, circuit, count=5, rng=1)
+        assert campaign.vector_count == 5
+        assert campaign.method == "loading-aware"
+        assert campaign.totals().shape == (5,)
+        assert campaign.mean_total() > 0
+        assert campaign.runtime_s() >= 0.0
+
+    def test_explicit_vectors_shared_between_estimators(self, library_d25s):
+        circuit = nand_tree(2)
+        vectors = list(random_vectors(circuit, 4, rng=3))
+        loaded = run_vector_campaign(
+            LoadingAwareEstimator(library_d25s), circuit, vectors=vectors
+        )
+        baseline = run_vector_campaign(
+            NoLoadingEstimator(library_d25s), circuit, vectors=vectors
+        )
+        assert loaded.vector_count == baseline.vector_count == 4
+        for a, b in zip(loaded.reports, baseline.reports):
+            assert a.input_assignment == b.input_assignment
+
+
+class TestLoadingImpactStatistics:
+    def test_statistics_structure_and_signs(self, library_d25s):
+        circuit = loaded_inverter_cluster(5, 5)
+        vectors = list(random_vectors(circuit, 4, rng=0))
+        loaded = run_vector_campaign(
+            LoadingAwareEstimator(library_d25s), circuit, vectors=vectors
+        )
+        baseline = run_vector_campaign(
+            NoLoadingEstimator(library_d25s), circuit, vectors=vectors
+        )
+        stats = loading_impact_statistics(loaded, baseline)
+        assert stats.vector_count == 4
+        # Subthreshold is the component the loading effect moves the most.
+        assert stats.average_percent["subthreshold"] > 0
+        assert stats.maximum_percent["subthreshold"] >= stats.average_percent["subthreshold"]
+        row = stats.row("average")
+        assert row[0] == circuit.name
+        assert len(row) == 5
+
+    def test_mismatched_campaigns_rejected(self, library_d25s):
+        circuit_a = nand_tree(2)
+        circuit_b = loaded_inverter_cluster(2, 2)
+        campaign_a = run_vector_campaign(
+            LoadingAwareEstimator(library_d25s), circuit_a, count=2, rng=0
+        )
+        campaign_b = run_vector_campaign(
+            NoLoadingEstimator(library_d25s), circuit_b, count=2, rng=0
+        )
+        with pytest.raises(ValueError, match="different circuits"):
+            loading_impact_statistics(campaign_a, campaign_b)
+
+    def test_mismatched_vector_counts_rejected(self, library_d25s):
+        circuit = nand_tree(2)
+        a = run_vector_campaign(LoadingAwareEstimator(library_d25s), circuit, count=2, rng=0)
+        b = run_vector_campaign(NoLoadingEstimator(library_d25s), circuit, count=3, rng=0)
+        with pytest.raises(ValueError, match="vector counts"):
+            loading_impact_statistics(a, b)
+
+
+class TestMinimumLeakageVector:
+    def test_exhaustive_search_on_small_circuit(self, library_d25s):
+        circuit = nand_tree(1)  # two inputs, one NAND2
+        estimator = LoadingAwareEstimator(library_d25s)
+        vector, total = minimum_leakage_vector(circuit=circuit, estimator=estimator, exhaustive=True)
+        assert set(vector) == set(circuit.primary_inputs)
+        assert total > 0
+        # The winner must actually achieve the minimum over all four vectors.
+        totals = {
+            tuple(sorted(v.items())): estimator.estimate(circuit, v).total
+            for v in (
+                {"in0": a, "in1": b} for a in (0, 1) for b in (0, 1)
+            )
+        }
+        assert total == pytest.approx(min(totals.values()))
+
+    def test_random_search_is_reproducible(self, library_d25s):
+        circuit = random_logic("minv", 5, 20, rng=2)
+        estimator = LoadingAwareEstimator(library_d25s)
+        first = minimum_leakage_vector(estimator, circuit, count=8, rng=5)
+        second = minimum_leakage_vector(estimator, circuit, count=8, rng=5)
+        assert first == second
+
+    def test_empty_vector_set_rejected(self, library_d25s):
+        circuit = nand_tree(1)
+        estimator = LoadingAwareEstimator(library_d25s)
+        with pytest.raises(ValueError):
+            minimum_leakage_vector(estimator, circuit, vectors=[])

@@ -1,0 +1,68 @@
+"""Tests for gate-level to transistor-level flattening."""
+
+import pytest
+
+from repro.circuit.flatten import flatten
+from repro.circuit.generators import inverter_chain, loaded_inverter_cluster
+from repro.circuit.netlist import Circuit
+from repro.gates.library import GateType
+from repro.gates.templates import transistor_count
+from repro.spice.netlist import NodeKind
+
+
+class TestFlatten:
+    def test_transistor_count_matches_templates(self, bulk25):
+        circuit = Circuit(name="mix")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g1", GateType.NAND2, ["a", "b"], "n1")
+        circuit.add_gate("g2", GateType.XOR2, ["n1", "a"], "n2")
+        circuit.add_output("n2")
+        flattened = flatten(circuit, bulk25, {"a": 0, "b": 1})
+        expected = transistor_count(GateType.NAND2) + transistor_count(GateType.XOR2)
+        assert flattened.transistor_count == expected
+
+    def test_primary_inputs_fixed_at_rails(self, bulk25):
+        circuit = inverter_chain(3)
+        flattened = flatten(circuit, bulk25, {"in": 1})
+        node = flattened.netlist.nodes["in"]
+        assert node.kind is NodeKind.FIXED
+        assert node.voltage == pytest.approx(bulk25.vdd)
+
+    def test_internal_nets_free_with_logic_guesses(self, bulk25):
+        circuit = inverter_chain(3)
+        flattened = flatten(circuit, bulk25, {"in": 1})
+        guesses = flattened.initial_voltages()
+        assert guesses["n1"] == pytest.approx(0.0)
+        assert guesses["n2"] == pytest.approx(bulk25.vdd)
+        assert flattened.netlist.nodes["n1"].kind is NodeKind.FREE
+
+    def test_gate_internal_nodes_seeded_at_output_rail(self, bulk25):
+        circuit = Circuit(name="nand")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g1", GateType.NAND3, ["a", "b", "a"], "y")
+        circuit.add_output("y")
+        flattened = flatten(circuit, bulk25, {"a": 1, "b": 0})
+        guesses = flattened.initial_voltages()
+        for node in flattened.internal_nodes["g1"]:
+            assert guesses[node] == pytest.approx(bulk25.vdd)  # output is '1'
+
+    def test_owner_tags_match_gate_names(self, bulk25):
+        circuit = loaded_inverter_cluster(2, 2)
+        flattened = flatten(circuit, bulk25, {"in": 0})
+        owners = {t.owner for t in flattened.netlist.transistors}
+        assert owners == set(circuit.gates)
+
+    def test_net_values_recorded(self, bulk25):
+        circuit = inverter_chain(2)
+        flattened = flatten(circuit, bulk25, {"in": 0})
+        assert flattened.net_values == {"in": 0, "n1": 1, "n2": 0}
+        assert flattened.input_assignment == {"in": 0}
+
+    def test_invalid_circuit_rejected(self, bulk25):
+        circuit = Circuit(name="broken")
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.NAND2, ["a", "ghost"], "y")
+        with pytest.raises(ValueError):
+            flatten(circuit, bulk25, {"a": 0})

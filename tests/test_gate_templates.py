@@ -1,0 +1,114 @@
+"""Tests for the transistor-level gate templates.
+
+The electrical truth table of every template is checked by building the gate
+with ideal inputs, solving its operating point and comparing the output rail
+against the logic function — i.e. the templates are validated against the
+specs through the real solver, not by inspection.
+"""
+
+import pytest
+
+from repro.gates.library import GateType, all_gate_types, gate_spec
+from repro.gates.templates import build_gate_transistors, transistor_count
+from repro.spice.netlist import TransistorNetlist
+from repro.spice.solver import DcSolver
+
+
+def _solve_output(technology, gate_type, bits):
+    spec = gate_spec(gate_type)
+    netlist = TransistorNetlist(vdd=technology.vdd)
+    pins = {}
+    for pin, bit in zip(spec.inputs, bits):
+        node = f"in_{pin}"
+        netlist.add_node(node, fixed_voltage=technology.vdd * bit)
+        pins[pin] = node
+    pins[spec.output] = "out"
+    internal = build_gate_transistors(netlist, technology, gate_type, "dut", pins)
+    initial = {"out": technology.vdd * spec.evaluate(bits)}
+    for node in internal:
+        initial[node] = initial["out"]
+    op = DcSolver(netlist, 300.0).solve(initial_voltages=initial)
+    assert op.converged
+    return op.voltage("out")
+
+
+class TestTransistorCounts:
+    @pytest.mark.parametrize("gate_type", all_gate_types())
+    def test_template_creates_declared_count(self, bulk25, gate_type):
+        spec = gate_spec(gate_type)
+        netlist = TransistorNetlist(vdd=bulk25.vdd)
+        pins = {pin: f"n_{pin}" for pin in spec.inputs}
+        pins[spec.output] = "n_y"
+        for node in pins.values():
+            netlist.add_node(node, fixed_voltage=0.0)
+        netlist.free_node("n_y")
+        build_gate_transistors(netlist, bulk25, gate_type, "dut", pins)
+        assert len(netlist.transistors) == transistor_count(gate_type)
+
+    def test_missing_pin_rejected(self, bulk25):
+        netlist = TransistorNetlist(vdd=bulk25.vdd)
+        with pytest.raises(ValueError, match="missing pin"):
+            build_gate_transistors(netlist, bulk25, GateType.NAND2, "g", {"a": "x", "y": "y"})
+
+    def test_owner_defaults_to_instance(self, bulk25):
+        netlist = TransistorNetlist(vdd=bulk25.vdd)
+        netlist.add_node("a", fixed_voltage=0.0)
+        build_gate_transistors(netlist, bulk25, GateType.INV, "myinv", {"a": "a", "y": "z"})
+        assert {t.owner for t in netlist.transistors} == {"myinv"}
+
+    def test_series_stack_is_widened(self, bulk25):
+        netlist = TransistorNetlist(vdd=bulk25.vdd)
+        for node in ("a", "b", "c"):
+            netlist.add_node(node, fixed_voltage=0.0)
+        build_gate_transistors(
+            netlist, bulk25, GateType.NAND3, "g", {"a": "a", "b": "b", "c": "c", "y": "y"}
+        )
+        nmos_widths = {
+            t.mosfet.device.width_nm
+            for t in netlist.transistors
+            if t.mosfet.device.is_nmos
+        }
+        assert nmos_widths == {3.0 * bulk25.nmos.width_nm}
+
+
+@pytest.mark.slow
+class TestElectricalTruthTables:
+    @pytest.mark.parametrize(
+        "gate_type",
+        [
+            GateType.INV,
+            GateType.BUF,
+            GateType.NAND2,
+            GateType.NOR2,
+            GateType.AND2,
+            GateType.OR2,
+            GateType.XOR2,
+            GateType.XNOR2,
+            GateType.AOI21,
+            GateType.OAI21,
+            GateType.NAND3,
+            GateType.NOR3,
+        ],
+    )
+    def test_output_rail_matches_logic(self, bulk25, gate_type):
+        spec = gate_spec(gate_type)
+        vdd = bulk25.vdd
+        for bits in spec.all_vectors():
+            expected = spec.evaluate(bits)
+            output = _solve_output(bulk25, gate_type, bits)
+            if expected:
+                assert output > 0.9 * vdd, f"{spec.name}{bits}: {output}"
+            else:
+                assert output < 0.1 * vdd, f"{spec.name}{bits}: {output}"
+
+    def test_internal_nodes_reported(self, bulk25):
+        netlist = TransistorNetlist(vdd=bulk25.vdd)
+        for node in ("a", "b"):
+            netlist.add_node(node, fixed_voltage=0.0)
+        internal = build_gate_transistors(
+            netlist, bulk25, GateType.AND2, "g", {"a": "a", "b": "b", "y": "y"}
+        )
+        assert len(internal) >= 2  # stack node + internal stage
+        for node in internal:
+            assert node.startswith("g.")
+            assert node in netlist.nodes

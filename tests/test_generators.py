@@ -1,0 +1,184 @@
+"""Tests for the benchmark-circuit generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.generators import (
+    DEFAULT_GATE_MIX,
+    ISCAS_PROFILES,
+    alu,
+    array_multiplier,
+    fanout_star,
+    inverter_chain,
+    iscas_like,
+    loaded_inverter_cluster,
+    nand_tree,
+    paper_benchmark_suite,
+    random_logic,
+)
+from repro.circuit.graph import logic_depth
+from repro.circuit.logic import propagate
+
+
+def _bits(value, width, prefix):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(width)}
+
+
+class TestPedagogicalStructures:
+    def test_inverter_chain(self):
+        circuit = inverter_chain(6)
+        circuit.validate()
+        assert circuit.gate_count == 6
+        with pytest.raises(ValueError):
+            inverter_chain(0)
+
+    def test_fanout_star(self):
+        circuit = fanout_star(5)
+        circuit.validate()
+        assert len(circuit.fanout_of("net_drv")) == 5
+        with pytest.raises(ValueError):
+            fanout_star(0)
+
+    def test_loaded_inverter_cluster(self):
+        circuit = loaded_inverter_cluster(6, 6)
+        circuit.validate()
+        # driver + g + 6 + 6
+        assert circuit.gate_count == 14
+        assert len(circuit.fanout_of("in_g")) == 7  # g plus 6 input loads
+        assert len(circuit.fanout_of("out_g")) == 6
+
+    def test_nand_tree(self):
+        circuit = nand_tree(3)
+        circuit.validate()
+        assert len(circuit.primary_inputs) == 8
+        assert circuit.gate_count == 7
+
+
+class TestArithmeticBlocks:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_multiplier_exhaustive(self, width):
+        circuit = array_multiplier(width)
+        circuit.validate()
+        for a in range(2**width):
+            for b in range(2**width):
+                assignment = {**_bits(a, width, "a"), **_bits(b, width, "b")}
+                values = propagate(circuit, assignment)
+                product = sum(
+                    values[net] << i for i, net in enumerate(circuit.primary_outputs)
+                )
+                assert product == a * b, (a, b)
+
+    def test_multiplier_8x8_spot_checks(self):
+        circuit = array_multiplier(8)
+        assert len(circuit.primary_outputs) == 16
+        for a, b in [(0, 0), (255, 255), (170, 85), (13, 201)]:
+            assignment = {**_bits(a, 8, "a"), **_bits(b, 8, "b")}
+            values = propagate(circuit, assignment)
+            product = sum(
+                values[net] << i for i, net in enumerate(circuit.primary_outputs)
+            )
+            assert product == a * b
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), op=st.integers(0, 3))
+    def test_alu_operations(self, a, b, op):
+        circuit = alu(8)
+        assignment = {**_bits(a, 8, "a"), **_bits(b, 8, "b")}
+        assignment["op0"] = op & 1
+        assignment["op1"] = (op >> 1) & 1
+        assignment["cin"] = 0
+        values = propagate(circuit, assignment)
+        result = sum(values[f"mux_{i}_y"] << i for i in range(8))
+        expected = {0: (a + b) & 0xFF, 1: a & b, 2: a | b, 3: a ^ b}[op]
+        assert result == expected
+
+    def test_alu_carry_out(self):
+        circuit = alu(8)
+        assignment = {**_bits(255, 8, "a"), **_bits(1, 8, "b")}
+        assignment.update({"op0": 0, "op1": 0, "cin": 0})
+        values = propagate(circuit, assignment)
+        assert values["add_fa7_c"] == 1
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            array_multiplier(1)
+        with pytest.raises(ValueError):
+            alu(0)
+
+
+class TestRandomLogic:
+    def test_deterministic_for_seed(self):
+        first = random_logic("x", 8, 50, rng=11)
+        second = random_logic("x", 8, 50, rng=11)
+        assert list(first.gates) == list(second.gates)
+        assert [g.inputs for g in first.gates.values()] == [
+            g.inputs for g in second.gates.values()
+        ]
+
+    def test_requested_gate_count(self):
+        circuit = random_logic("x", 8, 75, rng=0)
+        assert circuit.gate_count == 75
+        circuit.validate()
+
+    def test_outputs_are_unloaded_nets(self):
+        circuit = random_logic("x", 6, 40, rng=3)
+        for net in circuit.primary_outputs:
+            assert circuit.fanout_of(net) == []
+
+    def test_gate_mix_respected(self):
+        mix = {k: v for k, v in DEFAULT_GATE_MIX.items()}
+        circuit = random_logic("x", 8, 200, rng=5, gate_mix=mix)
+        histogram = circuit.gate_type_histogram()
+        assert histogram.get("nand2", 0) > 0
+        assert histogram.get("inv", 0) > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_logic("x", 1, 10)
+        with pytest.raises(ValueError):
+            random_logic("x", 8, 0)
+        with pytest.raises(ValueError):
+            random_logic("x", 8, 10, locality=1)
+
+
+class TestIscasSuite:
+    def test_profiles_cover_paper_names(self):
+        assert set(ISCAS_PROFILES) == {
+            "s838",
+            "s1196",
+            "s1423",
+            "s5372",
+            "s9378",
+            "s13207",
+        }
+
+    def test_scaled_generation(self):
+        circuit = iscas_like("s838", scale=0.25)
+        assert circuit.gate_count == pytest.approx(446 * 0.25, abs=2)
+        circuit.validate()
+
+    def test_aliases_accepted(self):
+        assert iscas_like("s5378", scale=0.02).name == "s5372"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            iscas_like("c6288")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            iscas_like("s838", scale=0.0)
+
+    def test_determinism_without_explicit_seed(self):
+        first = iscas_like("s1196", scale=0.1)
+        second = iscas_like("s1196", scale=0.1)
+        assert list(first.gates) == list(second.gates)
+
+    def test_paper_suite_contents(self):
+        suite = paper_benchmark_suite(scale=0.05)
+        assert set(suite) == set(ISCAS_PROFILES) | {"alu88", "mult88"}
+        assert suite["mult88"].gate_count == 320
+        assert suite["alu88"].gate_count == 122
+
+    def test_depth_is_reasonable(self):
+        circuit = iscas_like("s838", scale=0.5)
+        assert 5 < logic_depth(circuit) < 200

@@ -1,0 +1,23 @@
+"""Tests for the top-level package surface."""
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_direct_exports(self):
+        technology = repro.make_technology("bulk-25nm")
+        assert isinstance(technology, repro.TechnologyParams)
+        assert repro.DeviceVariant.BULK25.value == "bulk-25nm"
+
+    def test_lazy_exports(self):
+        assert repro.GateLibrary.__name__ == "GateLibrary"
+        assert repro.LoadingAwareEstimator.__name__ == "LoadingAwareEstimator"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist  # noqa: B018

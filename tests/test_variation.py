@@ -1,0 +1,136 @@
+"""Tests for the process-variation substrate and Monte-Carlo driver."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng
+from repro.variation.montecarlo import run_loaded_inverter_monte_carlo
+from repro.variation.spec import (
+    VariationSpec,
+    apply_inter_die,
+    sample_inter_die,
+    sample_intra_die_vth,
+)
+from repro.variation.statistics import (
+    histogram,
+    loading_shift_of_mean,
+    loading_shift_of_std,
+    summarize,
+)
+
+
+class TestVariationSpec:
+    def test_defaults_match_paper_caption(self):
+        spec = VariationSpec()
+        assert spec.sigma_length_nm == pytest.approx(2.0)
+        assert spec.sigma_tox_nm == pytest.approx(0.067)
+        assert spec.sigma_vth_inter_v == pytest.approx(0.030)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariationSpec(sigma_length_nm=-1.0)
+        with pytest.raises(ValueError):
+            VariationSpec(truncation=0.0)
+
+    def test_with_vth_inter_sigma(self):
+        spec = VariationSpec().with_vth_inter_sigma(0.050)
+        assert spec.sigma_vth_inter_v == 0.050
+        assert spec.sigma_vth_intra_v == VariationSpec().sigma_vth_intra_v
+
+
+class TestSampling:
+    def test_inter_die_sampling_reproducible(self):
+        spec = VariationSpec()
+        a = sample_inter_die(spec, ensure_rng(3))
+        b = sample_inter_die(spec, ensure_rng(3))
+        assert a == b
+
+    def test_truncation_respected(self):
+        spec = VariationSpec(truncation=1.0)
+        rng = ensure_rng(0)
+        for _ in range(200):
+            sample = sample_inter_die(spec, rng)
+            assert abs(sample.delta_vth_v) <= spec.sigma_vth_inter_v + 1e-12
+            assert abs(sample.delta_length_nm) <= spec.sigma_length_nm + 1e-12
+
+    def test_zero_sigma_produces_zero_shift(self):
+        spec = VariationSpec(
+            sigma_length_nm=0.0,
+            sigma_tox_nm=0.0,
+            sigma_vth_inter_v=0.0,
+            sigma_vth_intra_v=0.0,
+            sigma_vdd_v=0.0,
+        )
+        sample = sample_inter_die(spec, ensure_rng(1))
+        assert sample.delta_length_nm == 0.0
+        assert sample.delta_vdd_v == 0.0
+        assert np.all(sample_intra_die_vth(spec, ensure_rng(1), 5) == 0.0)
+
+    def test_intra_die_count_validation(self):
+        with pytest.raises(ValueError):
+            sample_intra_die_vth(VariationSpec(), ensure_rng(0), -1)
+
+
+class TestApplyInterDie:
+    def test_shifts_applied_to_both_devices(self, bulk25):
+        spec = VariationSpec()
+        sample = sample_inter_die(spec, ensure_rng(7))
+        shifted = apply_inter_die(bulk25, sample)
+        assert shifted.vdd == pytest.approx(bulk25.vdd + sample.delta_vdd_v)
+        assert shifted.nmos.tox_nm == pytest.approx(bulk25.nmos.tox_nm + sample.delta_tox_nm)
+        assert shifted.pmos.subthreshold.vth0 == pytest.approx(
+            bulk25.pmos.subthreshold.vth0 + sample.delta_vth_v
+        )
+        # Original is untouched.
+        assert bulk25.nmos.tox_nm != shifted.nmos.tox_nm or sample.delta_tox_nm == 0.0
+
+
+class TestStatistics:
+    def test_summary(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        summary = summarize(values)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.count == 4
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.as_dict()["p95"] >= summary.as_dict()["p05"]
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+
+    def test_histogram(self):
+        counts, edges = histogram(np.array([1.0, 1.1, 2.9, 3.0]), bins=2)
+        assert counts.sum() == 4
+        assert len(edges) == 3
+        with pytest.raises(ValueError):
+            histogram(np.array([1.0]), bins=0)
+
+    def test_loading_shifts(self):
+        unloaded = np.array([1.0, 2.0, 3.0])
+        loaded = unloaded * 1.10
+        assert loading_shift_of_mean(loaded, unloaded) == pytest.approx(10.0)
+        assert loading_shift_of_std(loaded, unloaded) == pytest.approx(10.0)
+
+
+@pytest.mark.slow
+class TestMonteCarlo:
+    def test_small_run_shapes_and_directions(self, d25s):
+        result = run_loaded_inverter_monte_carlo(
+            d25s, samples=8, rng=0, input_value=0, input_loads=4, output_loads=4
+        )
+        assert result.sample_count == 8
+        loaded = result.values("subthreshold", loaded=True)
+        unloaded = result.values("subthreshold", loaded=False)
+        assert loaded.shape == (8,)
+        # Input loading raises the subthreshold leakage of the studied gate
+        # in every sample (paper Fig. 10: the loaded histogram sits higher).
+        assert np.all(loaded >= unloaded)
+
+    def test_reproducible_for_seed(self, d25s):
+        first = run_loaded_inverter_monte_carlo(d25s, samples=3, rng=11)
+        second = run_loaded_inverter_monte_carlo(d25s, samples=3, rng=11)
+        assert first.values("total").tolist() == second.values("total").tolist()
+
+    def test_parameter_validation(self, d25s):
+        with pytest.raises(ValueError):
+            run_loaded_inverter_monte_carlo(d25s, samples=0)
+        with pytest.raises(ValueError):
+            run_loaded_inverter_monte_carlo(d25s, samples=1, input_value=2)
