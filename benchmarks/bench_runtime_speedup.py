@@ -32,3 +32,6 @@ def test_runtime_speedup(benchmark, d25s, library_d25s):
     # transistor-level solve even on this reduced circuit; the gap widens
     # with circuit size.
     assert result.speedup > 100.0
+    # The batched engine sits on top of the same LUTs, so its lead over the
+    # reference can only be larger still.
+    assert result.reference_vs_batched > 100.0

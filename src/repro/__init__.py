@@ -14,6 +14,9 @@ of Nano-Scaled Bulk-CMOS Logic Circuits" (Mukhopadhyay, Bhunia, Roy — DATE
   and benchmark-circuit generators (:mod:`repro.circuit`);
 * the paper's contribution: loading-aware circuit leakage estimation
   (:mod:`repro.core`);
+* a batched campaign engine that compiles a circuit + library into flat LUT
+  arrays and answers whole vector sets / Monte-Carlo fleets at once
+  (:mod:`repro.engine`);
 * process-variation Monte-Carlo analysis (:mod:`repro.variation`);
 * per-figure experiment drivers (:mod:`repro.experiments`).
 
@@ -51,6 +54,8 @@ __all__ = [
     "make_technology",
     "GateLibrary",
     "LoadingAwareEstimator",
+    "ParallelMonteCarlo",
+    "compile_circuit",
     "__version__",
 ]
 
@@ -69,4 +74,12 @@ def __getattr__(name: str):
         from repro.core import LoadingAwareEstimator
 
         return LoadingAwareEstimator
+    if name == "ParallelMonteCarlo":
+        from repro.engine import ParallelMonteCarlo
+
+        return ParallelMonteCarlo
+    if name == "compile_circuit":
+        from repro.engine import compile_circuit
+
+        return compile_circuit
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

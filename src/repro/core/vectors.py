@@ -7,19 +7,31 @@ minimum-leakage input vector — the quantity input-vector-control leakage
 reduction techniques search for — can change once loading is considered.
 This module provides both campaign types on top of any estimator that
 implements ``estimate(circuit, assignment) -> CircuitLeakageReport``.
+
+Campaigns over the library-backed estimators
+(:class:`~repro.core.estimator.LoadingAwareEstimator` and its no-loading
+variant) route through the batched engine of :mod:`repro.engine` by default:
+the circuit + library are compiled once into flat LUT arrays and the whole
+vector set is answered in a few array passes.  ``engine="scalar"`` forces
+the per-vector scalar path, which the regression tests use as the oracle.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol
+from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
 from repro.circuit.logic import exhaustive_vectors, random_vectors
 from repro.circuit.netlist import Circuit
+from repro.core.estimator import LoadingAwareEstimator
 from repro.core.report import REPORT_COMPONENTS, CircuitLeakageReport
 from repro.utils.rng import RngLike
+
+#: Engine routing modes accepted by the campaign entry points.
+ENGINE_MODES = ("auto", "batched", "scalar")
 
 
 class LeakageEstimator(Protocol):
@@ -33,11 +45,19 @@ class LeakageEstimator(Protocol):
 
 @dataclass
 class VectorCampaignResult:
-    """Reports of one estimator over a common vector set."""
+    """Reports of one estimator over a common vector set.
+
+    Scalar campaigns materialize one :class:`CircuitLeakageReport` per
+    vector; batched-engine campaigns store the circuit totals as arrays
+    (``precomputed_totals``) and expose ``reports`` as a lazy sequence that
+    only builds full per-gate reports when indexed.
+    """
 
     circuit_name: str
     method: str
-    reports: list[CircuitLeakageReport] = field(default_factory=list)
+    reports: Sequence[CircuitLeakageReport] = field(default_factory=list)
+    precomputed_totals: dict[str, np.ndarray] | None = None
+    batch_runtime_s: float | None = None
 
     @property
     def vector_count(self) -> int:
@@ -46,6 +66,8 @@ class VectorCampaignResult:
 
     def totals(self, component: str = "total") -> np.ndarray:
         """Return the chosen component's circuit total per vector (A)."""
+        if self.precomputed_totals is not None:
+            return np.asarray(self.precomputed_totals[component], dtype=float).copy()
         return np.array([report.component(component) for report in self.reports])
 
     def mean_total(self, component: str = "total") -> float:
@@ -54,10 +76,60 @@ class VectorCampaignResult:
         return float(totals.mean()) if totals.size else 0.0
 
     def runtime_s(self) -> float:
-        """Return the summed estimation runtime recorded in report metadata."""
-        return float(
-            sum(float(r.metadata.get("runtime_s", 0.0)) for r in self.reports)
+        """Return the campaign's estimation runtime in seconds.
+
+        Batched-engine campaigns report the wall-clock of the single array
+        pass; scalar campaigns sum the per-report ``runtime_s`` metadata.
+        A report without that metadata raises ``ValueError`` — silently
+        substituting 0.0 (the old behavior) made downstream speedup ratios
+        divide by zero or report infinite speedups.
+        """
+        if self.batch_runtime_s is not None:
+            return float(self.batch_runtime_s)
+        missing = sum(1 for r in self.reports if "runtime_s" not in r.metadata)
+        if missing:
+            raise ValueError(
+                f"{missing} of {len(self.reports)} campaign reports lack "
+                "'runtime_s' metadata; refusing to fabricate a 0.0 runtime"
+            )
+        return float(sum(float(r.metadata["runtime_s"]) for r in self.reports))
+
+
+def _engine_backed(estimator: LeakageEstimator) -> bool:
+    """Return True when ``estimator`` is a library-backed LUT estimator."""
+    return isinstance(estimator, LoadingAwareEstimator)
+
+
+def _check_engine_mode(engine: str, estimator: LeakageEstimator) -> bool:
+    """Validate ``engine`` and return whether to use the batched path."""
+    if engine not in ENGINE_MODES:
+        raise ValueError(f"engine must be one of {ENGINE_MODES}, got {engine!r}")
+    if engine == "batched" and not _engine_backed(estimator):
+        raise ValueError(
+            "engine='batched' requires a library-backed estimator "
+            f"(got {type(estimator).__name__})"
         )
+    return engine != "scalar" and _engine_backed(estimator)
+
+
+def _run_batched_campaign(
+    estimator: LoadingAwareEstimator,
+    circuit: Circuit,
+    vectors: list[dict[str, int]],
+) -> VectorCampaignResult:
+    """Evaluate ``vectors`` through the compiled batched engine."""
+    from repro.engine import compile_circuit, run_compiled
+    from repro.engine.campaign import LazyReports
+
+    compiled = compile_circuit(circuit, estimator.library)
+    run = run_compiled(compiled, vectors, include_loading=estimator.include_loading)
+    return VectorCampaignResult(
+        circuit_name=circuit.name,
+        method=run.method,
+        reports=LazyReports(run),
+        precomputed_totals=run.component_totals(),
+        batch_runtime_s=run.runtime_s,
+    )
 
 
 def run_vector_campaign(
@@ -66,6 +138,7 @@ def run_vector_campaign(
     vectors: Iterable[dict[str, int]] | None = None,
     count: int = 100,
     rng: RngLike = None,
+    engine: str = "auto",
 ) -> VectorCampaignResult:
     """Run ``estimator`` over a vector set and collect the reports.
 
@@ -75,11 +148,18 @@ def run_vector_campaign(
         Explicit vector set; when omitted, ``count`` random vectors are drawn
         using ``rng`` (pass the same seed to different estimators to compare
         them on identical vectors).
+    engine:
+        ``"auto"`` routes library-backed estimators through the batched
+        engine; ``"batched"`` requires it; ``"scalar"`` forces the
+        per-vector scalar path (the cross-check oracle).
     """
+    use_batched = _check_engine_mode(engine, estimator)
     if vectors is None:
         vectors = list(random_vectors(circuit, count, rng))
     else:
         vectors = list(vectors)
+    if vectors and use_batched:
+        return _run_batched_campaign(estimator, circuit, vectors)
     reports = [estimator.estimate(circuit, vector) for vector in vectors]
     method = reports[0].method if reports else getattr(estimator, "method_name", "?")
     return VectorCampaignResult(
@@ -94,13 +174,17 @@ class LoadingImpactStatistics:
     ``average_percent`` and ``maximum_percent`` are the Fig. 12(b) and
     Fig. 12(c) quantities: the mean and maximum over vectors of the absolute
     percent difference between the loading-aware and no-loading circuit
-    totals.
+    totals.  Vectors whose unloaded total is zero for a component have no
+    defined percent change; they are excluded from that component's mean and
+    maximum, and ``skipped_vectors`` records how many were dropped (a
+    component with every vector skipped reports NaN).
     """
 
     circuit_name: str
     vector_count: int
     average_percent: dict[str, float]
     maximum_percent: dict[str, float]
+    skipped_vectors: dict[str, int] = field(default_factory=dict)
 
     def row(self, statistic: str = "average") -> list[object]:
         """Return a table row (circuit, sub, gate, btbt, total) in percent."""
@@ -129,21 +213,25 @@ def loading_impact_statistics(
 
     average: dict[str, float] = {}
     maximum: dict[str, float] = {}
+    skipped: dict[str, int] = {}
     for name in REPORT_COMPONENTS:
         loaded = with_loading.totals(name)
         unloaded = without_loading.totals(name)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            percent = np.where(
-                unloaded != 0.0, 100.0 * (loaded - unloaded) / unloaded, 0.0
-            )
-        magnitude = np.abs(percent)
-        average[name] = float(magnitude.mean())
-        maximum[name] = float(magnitude.max())
+        defined = unloaded != 0.0
+        skipped[name] = int(np.count_nonzero(~defined))
+        magnitude = np.abs(
+            100.0 * (loaded[defined] - unloaded[defined]) / unloaded[defined]
+        )
+        # A vector with zero unloaded leakage has no percent change; mapping
+        # it to 0% (the old behavior) silently deflated the Fig. 12 average.
+        average[name] = float(magnitude.mean()) if magnitude.size else float("nan")
+        maximum[name] = float(magnitude.max()) if magnitude.size else float("nan")
     return LoadingImpactStatistics(
         circuit_name=with_loading.circuit_name,
         vector_count=with_loading.vector_count,
         average_percent=average,
         maximum_percent=maximum,
+        skipped_vectors=skipped,
     )
 
 
@@ -154,6 +242,7 @@ def minimum_leakage_vector(
     exhaustive: bool = False,
     count: int = 100,
     rng: RngLike = None,
+    engine: str = "auto",
 ) -> tuple[dict[str, int], float]:
     """Return the input vector with the lowest estimated total leakage.
 
@@ -162,26 +251,59 @@ def minimum_leakage_vector(
     exhaustive:
         When True every possible input vector is evaluated (only feasible for
         small circuits); otherwise ``vectors`` or ``count`` random vectors
-        are used.
+        are used.  Passing both ``exhaustive=True`` and an explicit
+        ``vectors`` set is ambiguous and raises ``ValueError``.
+    engine:
+        Same routing switch as :func:`run_vector_campaign`.
 
     Returns the (assignment, total leakage in amperes) pair.  The paper notes
     that the winning vector can differ between loading-aware and no-loading
     estimation, which is why the estimator is a parameter.
     """
+    if exhaustive and vectors is not None:
+        raise ValueError(
+            "pass either exhaustive=True or an explicit vectors= set, not both"
+        )
+    use_batched = _check_engine_mode(engine, estimator)
     if exhaustive:
-        candidate_vectors: Iterable[dict[str, int]] = exhaustive_vectors(circuit)
+        # Streamed, not materialized: 2**n vectors must never live at once.
+        candidates: Iterable[dict[str, int]] = exhaustive_vectors(circuit)
     elif vectors is not None:
-        candidate_vectors = vectors
+        # Materialize up front: a one-shot iterator that was already consumed
+        # would otherwise surface as a confusing "no vectors were evaluated".
+        candidates = list(vectors)
     else:
-        candidate_vectors = random_vectors(circuit, count, rng)
+        candidates = list(random_vectors(circuit, count, rng))
 
     best_vector: dict[str, int] | None = None
     best_total = float("inf")
-    for vector in candidate_vectors:
-        total = estimator.estimate(circuit, vector).total
-        if total < best_total:
-            best_total = total
-            best_vector = dict(vector)
+    if use_batched:
+        from repro.engine import compile_circuit, run_compiled
+        from repro.engine.campaign import DEFAULT_CHUNK_SIZE
+
+        compiled = compile_circuit(circuit, estimator.library)
+        candidate_iter = iter(candidates)
+        while True:
+            chunk = list(itertools.islice(candidate_iter, DEFAULT_CHUNK_SIZE))
+            if not chunk:
+                break
+            run = run_compiled(
+                compiled, chunk, include_loading=estimator.include_loading
+            )
+            totals = run.component_totals()["total"]
+            best = int(np.argmin(totals))
+            if totals[best] < best_total:
+                best_total = float(totals[best])
+                best_vector = dict(chunk[best])
+    else:
+        for vector in candidates:
+            total = estimator.estimate(circuit, vector).total
+            if total < best_total:
+                best_total = total
+                best_vector = dict(vector)
     if best_vector is None:
-        raise ValueError("no vectors were evaluated")
+        raise ValueError(
+            "no candidate vectors to evaluate: the vector set is empty "
+            "(was a one-shot iterator already consumed?)"
+        )
     return best_vector, best_total

@@ -1,0 +1,305 @@
+"""Batched campaign evaluation over a :class:`CompiledCircuit`.
+
+One call of :func:`run_compiled` answers an entire vector set:
+
+1. logic values propagate for all vectors at once — per (level, gate type)
+   group one gather + truth-table lookup updates a ``(net, vector)`` bit
+   matrix;
+2. per-pin injections are gathered from the compiled LUT arrays and
+   accumulated per net with a single ``np.add.at``;
+3. per-pin loading currents (input loading excludes the pin's own injection,
+   primary-input nets are ideal) feed a batched piecewise-linear
+   interpolation over the characterized response curves — the vectorized
+   equivalent of the scalar per-pin ``np.interp`` calls;
+4. per-gate components are clamped at zero and summed into circuit totals.
+
+The arithmetic matches the scalar estimator's lookup path step for step
+(zero loading contributes an exactly-zero delta, per-gate clamping happens
+before circuit accumulation), so batched totals agree with
+:class:`~repro.core.estimator.LoadingAwareEstimator` to rounding error —
+the regression tests pin the two paths against each other.
+
+Vectors are processed in bounded chunks so peak *temporary* memory stays
+flat; the per-gate output arrays still scale with the vector count, which is
+why :func:`repro.core.vectors.minimum_leakage_vector` feeds exhaustive
+sweeps through :func:`run_compiled` one chunk at a time and keeps only the
+running minimum.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.report import CircuitLeakageReport, GateLeakage
+from repro.engine.compile import CompiledCircuit
+from repro.spice.analysis import ComponentBreakdown
+
+#: Vector-chunk size bounding the engine's peak memory (the widest per-chunk
+#: temporary is the gathered response tensor: gates x chunk x pins x grid x 3).
+DEFAULT_CHUNK_SIZE = 512
+
+
+def _interp_batch(grid: np.ndarray, curves: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Piecewise-linear interpolation of per-row curves at per-row queries.
+
+    Parameters
+    ----------
+    grid:
+        ``(G,)`` strictly increasing sample positions shared by all rows.
+    curves:
+        ``(..., G, C)`` sampled values (one curve of ``C`` components per row).
+    queries:
+        ``(...)`` query positions, one per row.
+
+    Returns ``(..., C)`` values with flat extrapolation outside the grid,
+    matching ``np.interp``'s clamping semantics (and returning the exact
+    sample when a query hits a grid point, which is what makes a zero
+    loading current contribute an exactly-zero delta).
+    """
+    left = np.searchsorted(grid, queries, side="right") - 1
+    left = np.clip(left, 0, grid.size - 2)
+    x0 = grid[left]
+    x1 = grid[left + 1]
+    t = np.clip((queries - x0) / (x1 - x0), 0.0, 1.0)
+    v0 = np.take_along_axis(curves, left[..., None, None], axis=-2)[..., 0, :]
+    v1 = np.take_along_axis(curves, (left + 1)[..., None, None], axis=-2)[..., 0, :]
+    return v0 + t[..., None] * (v1 - v0)
+
+
+@dataclass
+class BatchedCampaignRun:
+    """Raw arrays of one batched campaign over a compiled circuit.
+
+    Attributes
+    ----------
+    compiled:
+        The compiled circuit the run was evaluated on.
+    method:
+        Estimation method label (``loading-aware`` / ``no-loading``).
+    assignments:
+        The evaluated primary-input assignments, in order.
+    per_gate:
+        ``(n_gates, n_vectors, 3)`` clamped leakage components (A).
+    vec_index:
+        ``(n_gates, n_vectors)`` packed input vector of every gate.
+    input_loading / output_loading:
+        ``(n_gates, n_vectors)`` summed loading currents attributed to each
+        gate's input pins / output net (zero for no-loading runs).
+    runtime_s:
+        Wall-clock of the batched evaluation (compile time excluded).
+    """
+
+    compiled: CompiledCircuit
+    method: str
+    assignments: list[dict[str, int]]
+    per_gate: np.ndarray
+    vec_index: np.ndarray
+    input_loading: np.ndarray
+    output_loading: np.ndarray
+    runtime_s: float
+
+    @property
+    def vector_count(self) -> int:
+        """Return the number of evaluated vectors."""
+        return len(self.assignments)
+
+    def component_totals(self) -> dict[str, np.ndarray]:
+        """Return circuit totals per vector for every report component."""
+        sums = self.per_gate.sum(axis=0)
+        totals = {
+            "subthreshold": sums[:, 0],
+            "gate": sums[:, 1],
+            "btbt": sums[:, 2],
+        }
+        totals["total"] = sums.sum(axis=1)
+        return totals
+
+    def report(self, v: int) -> CircuitLeakageReport:
+        """Materialize the full scalar-compatible report of vector ``v``."""
+        compiled = self.compiled
+        per_gate: dict[str, GateLeakage] = {}
+        for g, name in enumerate(compiled.gate_names):
+            table = compiled.table_of_gate(g)
+            gate = compiled.circuit.gates[name]
+            per_gate[name] = GateLeakage(
+                gate_name=name,
+                gate_type_name=table.name,
+                vector=compiled.unpack_vector(g, self.vec_index[g, v]),
+                breakdown=ComponentBreakdown(
+                    subthreshold=float(self.per_gate[g, v, 0]),
+                    gate=float(self.per_gate[g, v, 1]),
+                    btbt=float(self.per_gate[g, v, 2]),
+                ),
+                input_loading=float(self.input_loading[g, v]),
+                output_loading=float(self.output_loading[g, v]),
+            )
+        count = max(self.vector_count, 1)
+        return CircuitLeakageReport(
+            circuit_name=compiled.circuit.name,
+            method=self.method,
+            input_assignment=dict(self.assignments[v]),
+            per_gate=per_gate,
+            temperature_k=compiled.temperature_k,
+            vdd=compiled.vdd,
+            metadata={
+                "runtime_s": self.runtime_s / count,
+                "gate_count": compiled.n_gates,
+                "engine": "batched",
+            },
+        )
+
+
+class LazyReports(Sequence):
+    """Sequence view materializing :class:`CircuitLeakageReport` on demand.
+
+    Campaign statistics read circuit totals straight from the run arrays;
+    the full per-gate reports are only built (and memoized) when code
+    actually indexes into ``campaign.reports`` — e.g. the cross-check tests
+    comparing batched and scalar per-gate breakdowns.
+    """
+
+    def __init__(self, run: BatchedCampaignRun) -> None:
+        self._run = run
+        self._cache: dict[int, CircuitLeakageReport] = {}
+
+    def __len__(self) -> int:
+        return self._run.vector_count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        report = self._cache.get(index)
+        if report is None:
+            report = self._run.report(index)
+            self._cache[index] = report
+        return report
+
+
+def run_compiled(
+    compiled: CompiledCircuit,
+    assignments: list[dict[str, int]],
+    include_loading: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> BatchedCampaignRun:
+    """Evaluate every assignment on a compiled circuit in array passes."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    start = time.perf_counter()
+    assignments = list(assignments)
+    pi_bits = compiled.validate_assignments(assignments)
+    n_vectors = len(assignments)
+
+    per_gate = np.zeros((compiled.n_gates, n_vectors, 3))
+    vec_index = np.zeros((compiled.n_gates, n_vectors), dtype=np.int64)
+    input_loading = np.zeros((compiled.n_gates, n_vectors))
+    output_loading = np.zeros((compiled.n_gates, n_vectors))
+
+    for lo in range(0, n_vectors, chunk_size):
+        hi = min(lo + chunk_size, n_vectors)
+        _run_chunk(
+            compiled,
+            pi_bits[:, lo:hi],
+            include_loading,
+            per_gate[:, lo:hi],
+            vec_index[:, lo:hi],
+            input_loading[:, lo:hi],
+            output_loading[:, lo:hi],
+        )
+
+    return BatchedCampaignRun(
+        compiled=compiled,
+        method="loading-aware" if include_loading else "no-loading",
+        assignments=assignments,
+        per_gate=per_gate,
+        vec_index=vec_index,
+        input_loading=input_loading,
+        output_loading=output_loading,
+        runtime_s=time.perf_counter() - start,
+    )
+
+
+def _run_chunk(
+    compiled: CompiledCircuit,
+    pi_bits: np.ndarray,
+    include_loading: bool,
+    per_gate: np.ndarray,
+    vec_index: np.ndarray,
+    input_loading: np.ndarray,
+    output_loading: np.ndarray,
+) -> None:
+    """Evaluate one vector chunk, writing into the output array slices."""
+    n_vectors = pi_bits.shape[1]
+
+    # 1. propagate logic values as a (net, vector) bit matrix -------------- #
+    net_values = np.zeros((compiled.n_nets, n_vectors), dtype=np.uint8)
+    net_values[compiled.pi_indices] = pi_bits
+    for group in compiled.level_groups:
+        table = compiled.tables[group.type_index]
+        k = table.num_inputs
+        weights = (1 << np.arange(k - 1, -1, -1, dtype=np.int64))[None, :, None]
+        gathered = net_values[group.input_nets]  # (n, k, V)
+        packed = (gathered.astype(np.int64) * weights).sum(axis=1)
+        vec_index[group.gate_indices] = packed
+        net_values[group.output_nets] = table.truth[packed]
+
+    if not include_loading:
+        for group in compiled.type_groups:
+            table = compiled.tables[group.type_index]
+            per_gate[group.gate_indices] = np.maximum(
+                table.nominal[vec_index[group.gate_indices]], 0.0
+            )
+        return
+
+    # 2. per-pin injections, accumulated per net -------------------------- #
+    pin_injection = np.zeros((compiled.n_pins, n_vectors))
+    for group in compiled.type_groups:
+        table = compiled.tables[group.type_index]
+        inj = table.pin_injection[vec_index[group.gate_indices]]  # (n, V, k)
+        pin_injection[group.pin_slice] = np.swapaxes(inj, 1, 2).reshape(
+            -1, n_vectors
+        )
+    net_injection = np.zeros((compiled.n_nets, n_vectors))
+    np.add.at(net_injection, compiled.pin_net, pin_injection)
+
+    # 3. per-pin loading: everyone else's injection on my net -------------- #
+    pin_loading = net_injection[compiled.pin_net] - pin_injection
+    pin_loading[compiled.pin_on_pi] = 0.0
+
+    # 4. LUT lookup per (gate, pin), clamped accumulation ------------------ #
+    for group in compiled.type_groups:
+        table = compiled.tables[group.type_index]
+        n = group.gate_indices.size
+        k = table.num_inputs
+        packed = vec_index[group.gate_indices]  # (n, V)
+
+        loading_in = pin_loading[group.pin_slice].reshape(n, k, n_vectors)
+        loading_out = net_injection[group.output_nets][:, None, :]  # (n, 1, V)
+        loading = np.concatenate([loading_in, loading_out], axis=1)  # (n, k+1, V)
+        loading = np.swapaxes(loading, 1, 2)  # (n, V, k+1)
+
+        active = loading != 0.0
+        has_response = table.has_response[packed]  # (n, V, k+1)
+        if np.any(active & ~has_response):
+            g_bad, v_bad, p_bad = np.argwhere(active & ~has_response)[0]
+            raise KeyError(
+                f"pin index {int(p_bad)} of {table.name} has no characterized "
+                f"response but sees a nonzero loading current"
+            )
+
+        nominal = table.nominal[packed]  # (n, V, 3)
+        curves = table.response[packed]  # (n, V, k+1, G, 3)
+        interpolated = _interp_batch(table.grid, curves, loading)
+        delta = np.where(active[..., None], interpolated - nominal[:, :, None, :], 0.0)
+        components = np.maximum(nominal + delta.sum(axis=2), 0.0)
+
+        per_gate[group.gate_indices] = components
+        input_loading[group.gate_indices] = loading[..., :k].sum(axis=2)
+        output_loading[group.gate_indices] = loading[..., k]

@@ -1,0 +1,338 @@
+"""Circuit + library compilation for the batched campaign engine.
+
+The scalar :class:`~repro.core.estimator.LoadingAwareEstimator` re-walks the
+gate-level netlist and re-queries the characterized library for every single
+input vector.  For campaign workloads (Fig. 12 runs 100 vectors per circuit,
+minimum-leakage-vector search evaluates hundreds to thousands) nearly all of
+that work is vector-independent: the topological order, the pin wiring, and
+the characterized LUT grids never change.  Compilation hoists it out:
+
+* every gate type present in the circuit is flattened into a
+  :class:`GateTypeTable` — truth table, nominal components, per-pin
+  injections and per-pin response curves as dense NumPy arrays indexed by the
+  packed input vector;
+* the circuit is levelized and grouped by (level, gate type) so logic values
+  propagate for a whole campaign at once as bit-matrix gathers;
+* all receiver pins are laid out as flat arrays so per-net loading currents
+  accumulate with one ``np.add.at`` instead of a Python dict walk per vector.
+
+The resulting :class:`CompiledCircuit` answers an entire vector set in a few
+array passes (see :mod:`repro.engine.campaign`) and is cached per
+(circuit structure, library) by :func:`compile_circuit`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.graph import levelize
+from repro.circuit.netlist import Circuit
+from repro.gates.characterize import GateLibrary
+from repro.gates.lut import COMPONENT_NAMES
+
+#: Number of leakage components tracked per gate (sub, gate, btbt).
+N_COMPONENTS = len(COMPONENT_NAMES)
+
+
+@dataclass(frozen=True)
+class GateTypeTable:
+    """Flattened characterization of one gate type (all input vectors).
+
+    Attributes
+    ----------
+    name:
+        Lowercase gate-type name.
+    num_inputs:
+        Number of input pins ``k``; tables are indexed by the packed vector
+        ``sum(bit[i] << (k - 1 - i))`` (first pin is the most significant
+        bit, matching :meth:`GateSpec.all_vectors` order).
+    truth:
+        ``(2**k,)`` output bit per packed vector.
+    nominal:
+        ``(2**k, 3)`` unloaded leakage components.
+    pin_injection:
+        ``(2**k, k)`` signed current each input pin injects into its net (A).
+    grid:
+        ``(G,)`` shared signed injection grid of the response curves.
+    response:
+        ``(2**k, k + 1, G, 3)`` leakage components versus injected current,
+        per packed vector and per pin (input pins first, output pin last).
+        Rows without a characterized response are zero-filled and flagged in
+        ``has_response``.
+    has_response:
+        ``(2**k, k + 1)`` mask of characterized (vector, pin) responses.
+    """
+
+    name: str
+    num_inputs: int
+    truth: np.ndarray
+    nominal: np.ndarray
+    pin_injection: np.ndarray
+    grid: np.ndarray
+    response: np.ndarray
+    has_response: np.ndarray
+
+    @property
+    def num_pins(self) -> int:
+        """Return the number of characterizable pins (inputs plus output)."""
+        return self.num_inputs + 1
+
+
+def _build_type_table(library: GateLibrary, gate_type_name: str) -> GateTypeTable:
+    """Flatten every vector of one gate type into a :class:`GateTypeTable`."""
+    spec = library.spec(gate_type_name)
+    k = spec.num_inputs
+    vectors = spec.all_vectors()
+    n_vectors = len(vectors)
+    pins = list(spec.inputs) + [spec.output]
+
+    truth = np.zeros(n_vectors, dtype=np.uint8)
+    nominal = np.zeros((n_vectors, N_COMPONENTS))
+    pin_injection = np.zeros((n_vectors, k))
+    has_response = np.zeros((n_vectors, len(pins)), dtype=bool)
+
+    grid: np.ndarray | None = None
+    curves: dict[tuple[int, int], np.ndarray] = {}
+    for index, vector in enumerate(vectors):
+        record = library.characterization(spec.gate_type, vector)
+        truth[index] = spec.evaluate(vector)
+        nominal[index] = record.nominal_array()
+        for j, pin in enumerate(spec.inputs):
+            pin_injection[index, j] = record.pin_injection[pin]
+        for p, pin in enumerate(pins):
+            curve = record.responses.get(pin)
+            if curve is None:
+                continue
+            if grid is None:
+                grid = curve.injections
+            elif not np.array_equal(grid, curve.injections):
+                raise ValueError(
+                    f"engine requires a shared injection grid per gate type; "
+                    f"{spec.name} vector {record.vector_label} pin {pin!r} differs"
+                )
+            curves[(index, p)] = curve.component_matrix()
+            has_response[index, p] = True
+
+    if grid is None:
+        # No characterized responses at all (only possible with exotic
+        # characterization options); keep a valid 2-point dummy grid.
+        grid = np.array([-1.0, 1.0])
+    response = np.zeros((n_vectors, len(pins), grid.size, N_COMPONENTS))
+    for (index, p), matrix in curves.items():
+        response[index, p] = matrix
+
+    return GateTypeTable(
+        name=spec.name,
+        num_inputs=k,
+        truth=truth,
+        nominal=nominal,
+        pin_injection=pin_injection,
+        grid=np.asarray(grid, dtype=float),
+        response=response,
+        has_response=has_response,
+    )
+
+
+@dataclass(frozen=True)
+class _GateGroup:
+    """Gates of one type processed together (one gather per array pass).
+
+    ``pin_slice`` addresses the group's input pins inside the compiled
+    flat pin arrays (all ``len(gates) * k`` of them, gate-major).
+    """
+
+    type_index: int
+    gate_indices: np.ndarray
+    input_nets: np.ndarray
+    output_nets: np.ndarray
+    pin_slice: slice
+
+
+class CompiledCircuit:
+    """A circuit + characterized library flattened for batched evaluation.
+
+    Instances are built by :func:`compile_circuit`; the heavy lifting of a
+    campaign run lives in :meth:`repro.engine.campaign.run_compiled`, which
+    consumes the arrays assembled here.
+    """
+
+    def __init__(self, circuit: Circuit, library: GateLibrary) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.vdd = library.vdd
+        self.temperature_k = library.temperature_k
+
+        # --- net numbering ------------------------------------------------ #
+        self.net_names: list[str] = circuit.nets()
+        self.net_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.net_names)
+        }
+        self.n_nets = len(self.net_names)
+        self.pi_indices = np.array(
+            [self.net_index[net] for net in circuit.primary_inputs], dtype=np.intp
+        )
+        self.pi_mask = np.zeros(self.n_nets, dtype=bool)
+        self.pi_mask[self.pi_indices] = True
+
+        # --- gate numbering (levelized order) ----------------------------- #
+        levels = levelize(circuit)
+        self.gate_names: list[str] = sorted(
+            circuit.gates, key=lambda name: (levels[name], name)
+        )
+        gate_order = {name: g for g, name in enumerate(self.gate_names)}
+        self.n_gates = len(self.gate_names)
+
+        # --- per-type LUT tables ------------------------------------------ #
+        type_names = sorted(
+            {gate.gate_type.value for gate in circuit.gates.values()}
+        )
+        self.tables: list[GateTypeTable] = [
+            _build_type_table(library, name) for name in type_names
+        ]
+        type_of = {table.name: t for t, table in enumerate(self.tables)}
+
+        self.gate_type_index = np.zeros(self.n_gates, dtype=np.intp)
+        self.gate_output_net = np.zeros(self.n_gates, dtype=np.intp)
+        for name, gate in circuit.gates.items():
+            g = gate_order[name]
+            self.gate_type_index[g] = type_of[gate.gate_type.value]
+            self.gate_output_net[g] = self.net_index[gate.output]
+
+        # --- (level, type) groups for propagation, type groups for LUTs -- #
+        def _group(names: list[str], pin_base: int) -> tuple[_GateGroup, int]:
+            indices = np.array([gate_order[n] for n in names], dtype=np.intp)
+            first = circuit.gates[names[0]]
+            k = first.spec.num_inputs
+            inputs = np.array(
+                [
+                    [self.net_index[net] for net in circuit.gates[n].inputs]
+                    for n in names
+                ],
+                dtype=np.intp,
+            ).reshape(len(names), k)
+            outputs = np.array(
+                [self.net_index[circuit.gates[n].output] for n in names],
+                dtype=np.intp,
+            )
+            count = len(names) * k
+            group = _GateGroup(
+                type_index=type_of[first.gate_type.value],
+                gate_indices=indices,
+                input_nets=inputs,
+                output_nets=outputs,
+                pin_slice=slice(pin_base, pin_base + count),
+            )
+            return group, pin_base + count
+
+        by_level_type: dict[tuple[int, int], list[str]] = {}
+        for name in self.gate_names:
+            key = (levels[name], type_of[circuit.gates[name].gate_type.value])
+            by_level_type.setdefault(key, []).append(name)
+        self.level_groups: list[_GateGroup] = []
+        for key in sorted(by_level_type):
+            group, _ = _group(by_level_type[key], 0)
+            self.level_groups.append(group)
+
+        by_type: dict[int, list[str]] = {}
+        for name in self.gate_names:
+            by_type.setdefault(type_of[circuit.gates[name].gate_type.value], []).append(
+                name
+            )
+        self.type_groups: list[_GateGroup] = []
+        pin_base = 0
+        for t in sorted(by_type):
+            group, pin_base = _group(by_type[t], pin_base)
+            self.type_groups.append(group)
+        self.n_pins = pin_base
+
+        #: Net index of every flat input pin (gate-major inside each group).
+        self.pin_net = np.zeros(self.n_pins, dtype=np.intp)
+        for group in self.type_groups:
+            self.pin_net[group.pin_slice] = group.input_nets.reshape(-1)
+        #: Flat pins sitting on primary-input nets carry no loading.
+        self.pin_on_pi = self.pi_mask[self.pin_net]
+
+    # ------------------------------------------------------------------ #
+    # queries used by campaign running and report materialization
+    # ------------------------------------------------------------------ #
+    def table_of_gate(self, g: int) -> GateTypeTable:
+        """Return the LUT table of gate index ``g``."""
+        return self.tables[self.gate_type_index[g]]
+
+    def unpack_vector(self, g: int, packed: int) -> tuple[int, ...]:
+        """Return the input-bit tuple of gate ``g`` for a packed vector."""
+        k = self.table_of_gate(g).num_inputs
+        return tuple((int(packed) >> (k - 1 - j)) & 1 for j in range(k))
+
+    def validate_assignments(
+        self, assignments: list[dict[str, int]]
+    ) -> np.ndarray:
+        """Return the primary-input bit matrix ``(n_pi, n_vectors)``.
+
+        Mirrors the checks of :func:`repro.circuit.logic.propagate`: every
+        primary input must be assigned and no extra nets may appear.
+        """
+        pi_set = set(self.circuit.primary_inputs)
+        bits = np.zeros((len(pi_set), len(assignments)), dtype=np.uint8)
+        for v, assignment in enumerate(assignments):
+            missing = [pi for pi in self.circuit.primary_inputs if pi not in assignment]
+            if missing:
+                raise KeyError(f"unassigned primary inputs: {missing[:10]}")
+            extra = [net for net in assignment if net not in pi_set]
+            if extra:
+                raise KeyError(f"assignment names non-primary-input nets: {extra[:10]}")
+            for i, pi in enumerate(self.circuit.primary_inputs):
+                bits[i, v] = 1 if assignment[pi] else 0
+        return bits
+
+
+def _fingerprint(circuit: Circuit) -> tuple:
+    """Return a structural key of ``circuit`` (stable across copies)."""
+    return (
+        circuit.name,
+        tuple(circuit.primary_inputs),
+        tuple(
+            (gate.name, gate.gate_type.value, gate.inputs, gate.output)
+            for gate in circuit.gates.values()
+        ),
+    )
+
+
+#: Per-library compile cache; the library key is weak so dropping a library
+#: frees its compiled circuits, while values keep their circuit alive.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[GateLibrary, dict[tuple, CompiledCircuit]]"
+_COMPILE_CACHE = weakref.WeakKeyDictionary()
+
+
+def compile_circuit(
+    circuit: Circuit, library: GateLibrary, cache: bool = True
+) -> CompiledCircuit:
+    """Return the (cached) :class:`CompiledCircuit` for ``(circuit, library)``.
+
+    The cache key is the circuit *structure* (name, primary inputs, gate
+    list), so structural copies reuse the same compiled arrays.  Compiling
+    characterizes every input vector of every gate type present in the
+    circuit — the one-time "characterize once, answer campaigns as lookups"
+    cost.  Pass ``cache=False`` to force a fresh compile (e.g. after
+    mutating a library's records in place).
+    """
+    if not cache:
+        return CompiledCircuit(circuit, library)
+    per_library = _COMPILE_CACHE.get(library)
+    if per_library is None:
+        per_library = {}
+        _COMPILE_CACHE[library] = per_library
+    key = _fingerprint(circuit)
+    compiled = per_library.get(key)
+    if compiled is None:
+        compiled = CompiledCircuit(circuit, library)
+        per_library[key] = compiled
+    return compiled
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached :class:`CompiledCircuit`."""
+    _COMPILE_CACHE.clear()

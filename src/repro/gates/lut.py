@@ -88,6 +88,14 @@ class ResponseCurve:
         """Return the largest characterized injection magnitude (A)."""
         return float(max(abs(self.injections[0]), abs(self.injections[-1])))
 
+    def component_matrix(self) -> np.ndarray:
+        """Return the curve as a ``(grid, component)`` matrix.
+
+        Columns follow :data:`COMPONENT_NAMES`; the batched campaign engine
+        consumes this layout when flattening a library into LUT arrays.
+        """
+        return np.stack([getattr(self, name) for name in COMPONENT_NAMES], axis=1)
+
 
 @dataclass(frozen=True)
 class GateVectorCharacterization:
@@ -128,6 +136,16 @@ class GateVectorCharacterization:
     def vector_label(self) -> str:
         """Return the paper-style vector string, e.g. ``"01"``."""
         return "".join(str(int(b)) for b in self.vector)
+
+    def nominal_array(self) -> np.ndarray:
+        """Return the nominal components as a ``(component,)`` array.
+
+        Ordered like :data:`COMPONENT_NAMES`; used by the batched campaign
+        engine when snapshotting a characterized library into flat arrays.
+        """
+        return np.array(
+            [self.nominal.component(name) for name in COMPONENT_NAMES], dtype=float
+        )
 
     def response(self, pin: str) -> ResponseCurve:
         """Return the response curve of ``pin`` (KeyError if not characterized)."""

@@ -33,7 +33,7 @@ from repro.circuit.generators import loaded_inverter_cluster
 from repro.device.params import TechnologyParams
 from repro.spice.analysis import ComponentBreakdown, leakage_by_owner
 from repro.spice.solver import DcSolver, SolverOptions
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, spawn_streams
 from repro.variation.spec import (
     VariationSpec,
     apply_inter_die,
@@ -105,6 +105,95 @@ def _solve_target_leakage(
     return leakage_by_owner(flattened.netlist, op)[_TARGET_GATE]
 
 
+@dataclass(frozen=True)
+class SampleTask:
+    """Everything one Monte-Carlo sample needs, minus its random stream.
+
+    The task is picklable (technology, spec and solver options are plain
+    dataclasses), which is what lets :class:`repro.engine.parallel.ParallelMonteCarlo`
+    ship it to process-pool workers unchanged.
+    """
+
+    technology: TechnologyParams
+    spec: VariationSpec
+    input_value: int
+    input_loads: int
+    output_loads: int
+    temperature_k: float
+    solver_options: SolverOptions
+
+
+def simulate_sample(task: SampleTask, rng: np.random.Generator) -> MonteCarloSample:
+    """Run one Monte-Carlo sample, drawing everything from ``rng``.
+
+    Sample ``i`` of a run consumes exactly stream ``i`` of
+    :func:`repro.utils.rng.spawn_streams`, so the serial and parallel
+    drivers produce bitwise-identical results for the same root seed.
+    """
+    loaded_circuit = loaded_inverter_cluster(task.input_loads, task.output_loads)
+    unloaded_circuit = loaded_inverter_cluster(0, 0, name="unloaded_inverter")
+    # The driver input is the complement of the studied inverter's input.
+    assignment = {"in": 1 - task.input_value}
+
+    inter = sample_inter_die(task.spec, rng)
+    shifted = apply_inter_die(task.technology, inter)
+
+    # Draw intra-die Vth shifts for the loaded structure; the unloaded twin
+    # shares the shifts of its two gates (driver and 'g') so that the only
+    # difference between the two solves is the loading.
+    loaded_flat_names = [
+        f"{gate}.{suffix}"
+        for gate in loaded_circuit.gates
+        for suffix in ("mn1", "mp2")
+    ]
+    shifts = sample_intra_die_vth(task.spec, rng, len(loaded_flat_names))
+    intra = dict(zip(loaded_flat_names, shifts))
+
+    with_loading = _solve_target_leakage(
+        loaded_circuit, shifted, assignment, intra, task.temperature_k,
+        task.solver_options,
+    )
+    without_loading = _solve_target_leakage(
+        unloaded_circuit, shifted, assignment, intra, task.temperature_k,
+        task.solver_options,
+    )
+    return MonteCarloSample(
+        with_loading=with_loading, without_loading=without_loading
+    )
+
+
+def _simulate_sample_star(args: tuple[SampleTask, np.random.Generator]) -> MonteCarloSample:
+    """Process-pool adapter: unpack the (task, stream) pair."""
+    return simulate_sample(*args)
+
+
+def build_sample_task(
+    technology: TechnologyParams,
+    spec: VariationSpec | None = None,
+    input_value: int = 0,
+    input_loads: int = 6,
+    output_loads: int = 6,
+    temperature_k: float | None = None,
+    solver_options: SolverOptions | None = None,
+) -> SampleTask:
+    """Validate the study parameters and return the shared :class:`SampleTask`."""
+    if input_value not in (0, 1):
+        raise ValueError("input_value must be 0 or 1")
+    if input_loads < 0 or output_loads < 0:
+        raise ValueError("load counts must be non-negative")
+    return SampleTask(
+        technology=technology,
+        spec=spec or VariationSpec(),
+        input_value=input_value,
+        input_loads=input_loads,
+        output_loads=output_loads,
+        temperature_k=(
+            technology.temperature_k if temperature_k is None else float(temperature_k)
+        ),
+        solver_options=solver_options or SolverOptions(),
+    )
+
+
 def run_loaded_inverter_monte_carlo(
     technology: TechnologyParams,
     spec: VariationSpec | None = None,
@@ -134,53 +223,28 @@ def run_loaded_inverter_monte_carlo(
     input_loads / output_loads:
         Number of inverters loading the input and output nets (6 and 6 in
         Fig. 10).
+
+    Each sample draws from its own ``SeedSequence.spawn``-derived stream
+    (sample ``i`` uses stream ``i``), so the result is bitwise-identical to
+    :class:`repro.engine.parallel.ParallelMonteCarlo` for the same seed.
     """
     if samples < 1:
         raise ValueError("samples must be at least 1")
-    if input_value not in (0, 1):
-        raise ValueError("input_value must be 0 or 1")
-    spec = spec or VariationSpec()
-    generator = ensure_rng(rng)
-    options = solver_options or SolverOptions()
-    temperature = (
-        technology.temperature_k if temperature_k is None else float(temperature_k)
-    )
-
-    loaded_circuit = loaded_inverter_cluster(input_loads, output_loads)
-    unloaded_circuit = loaded_inverter_cluster(0, 0, name="unloaded_inverter")
-    # The driver input is the complement of the studied inverter's input.
-    assignment = {"in": 1 - input_value}
-
-    result = MonteCarloResult(
+    task = build_sample_task(
+        technology,
         spec=spec,
         input_value=input_value,
         input_loads=input_loads,
         output_loads=output_loads,
+        temperature_k=temperature_k,
+        solver_options=solver_options,
     )
-    for _ in range(samples):
-        inter = sample_inter_die(spec, generator)
-        shifted = apply_inter_die(technology, inter)
-
-        # Draw intra-die Vth shifts for the loaded structure; the unloaded
-        # twin shares the shifts of its two gates (driver and 'g') so that
-        # the only difference between the two solves is the loading.
-        loaded_flat_names = [
-            f"{gate}.{suffix}"
-            for gate in loaded_circuit.gates
-            for suffix in ("mn1", "mp2")
-        ]
-        shifts = sample_intra_die_vth(spec, generator, len(loaded_flat_names))
-        intra = dict(zip(loaded_flat_names, shifts))
-
-        with_loading = _solve_target_leakage(
-            loaded_circuit, shifted, assignment, intra, temperature, options
-        )
-        without_loading = _solve_target_leakage(
-            unloaded_circuit, shifted, assignment, intra, temperature, options
-        )
-        result.samples.append(
-            MonteCarloSample(
-                with_loading=with_loading, without_loading=without_loading
-            )
-        )
+    result = MonteCarloResult(
+        spec=task.spec,
+        input_value=input_value,
+        input_loads=input_loads,
+        output_loads=output_loads,
+    )
+    for stream in spawn_streams(rng, samples):
+        result.samples.append(simulate_sample(task, stream))
     return result

@@ -1,16 +1,45 @@
 """Tests for vector campaigns, loading-impact statistics and vector search."""
 
+import math
+
 import pytest
 
 from repro.circuit.generators import loaded_inverter_cluster, nand_tree, random_logic
 from repro.circuit.logic import random_vectors
 from repro.core.baseline import NoLoadingEstimator
 from repro.core.estimator import LoadingAwareEstimator
+from repro.core.report import CircuitLeakageReport, GateLeakage
 from repro.core.vectors import (
+    VectorCampaignResult,
     loading_impact_statistics,
     minimum_leakage_vector,
     run_vector_campaign,
 )
+from repro.spice.analysis import ComponentBreakdown
+
+
+def _synthetic_report(sub=1e-9, gate=1e-9, btbt=1e-9, runtime=0.25):
+    """Build a one-gate report with chosen component totals."""
+    breakdown = ComponentBreakdown(subthreshold=sub, gate=gate, btbt=btbt)
+    entry = GateLeakage(
+        gate_name="g0", gate_type_name="inv", vector=(0,), breakdown=breakdown
+    )
+    metadata = {} if runtime is None else {"runtime_s": runtime}
+    return CircuitLeakageReport(
+        circuit_name="synthetic",
+        method="loading-aware",
+        input_assignment={"in": 0},
+        per_gate={"g0": entry},
+        temperature_k=300.0,
+        vdd=0.9,
+        metadata=metadata,
+    )
+
+
+def _synthetic_campaign(reports):
+    return VectorCampaignResult(
+        circuit_name="synthetic", method="loading-aware", reports=reports
+    )
 
 
 class TestVectorCampaign:
@@ -103,5 +132,89 @@ class TestMinimumLeakageVector:
     def test_empty_vector_set_rejected(self, library_d25s):
         circuit = nand_tree(1)
         estimator = LoadingAwareEstimator(library_d25s)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="empty"):
             minimum_leakage_vector(estimator, circuit, vectors=[])
+
+    def test_conflicting_vectors_and_exhaustive_rejected(self, library_d25s):
+        circuit = nand_tree(1)
+        estimator = LoadingAwareEstimator(library_d25s)
+        with pytest.raises(ValueError, match="not both"):
+            minimum_leakage_vector(
+                estimator,
+                circuit,
+                vectors=[{"in0": 0, "in1": 0}],
+                exhaustive=True,
+            )
+
+    def test_consumed_iterator_reported_clearly(self, library_d25s):
+        circuit = nand_tree(1)
+        estimator = LoadingAwareEstimator(library_d25s)
+        one_shot = iter([{"in0": 0, "in1": 0}])
+        list(one_shot)  # drain it, simulating accidental reuse
+        with pytest.raises(ValueError, match="already consumed"):
+            minimum_leakage_vector(estimator, circuit, vectors=one_shot)
+
+    def test_generator_input_is_materialized(self, library_d25s):
+        circuit = nand_tree(1)
+        estimator = LoadingAwareEstimator(library_d25s)
+        vectors = ({"in0": a, "in1": b} for a in (0, 1) for b in (0, 1))
+        vector, total = minimum_leakage_vector(estimator, circuit, vectors=vectors)
+        assert set(vector) == {"in0", "in1"}
+        assert total > 0
+
+
+class TestCampaignRuntimeMetadata:
+    def test_runtime_sums_report_metadata(self):
+        campaign = _synthetic_campaign(
+            [_synthetic_report(runtime=0.25), _synthetic_report(runtime=0.5)]
+        )
+        assert campaign.runtime_s() == pytest.approx(0.75)
+
+    def test_missing_runtime_metadata_raises(self):
+        campaign = _synthetic_campaign(
+            [_synthetic_report(runtime=0.25), _synthetic_report(runtime=None)]
+        )
+        with pytest.raises(ValueError, match="runtime_s"):
+            campaign.runtime_s()
+
+    def test_batch_runtime_wins_over_metadata(self):
+        campaign = VectorCampaignResult(
+            circuit_name="synthetic",
+            method="loading-aware",
+            reports=[_synthetic_report(runtime=None)],
+            batch_runtime_s=0.125,
+        )
+        assert campaign.runtime_s() == pytest.approx(0.125)
+
+
+class TestZeroUnloadedVectorHandling:
+    def test_zero_unloaded_vectors_excluded_and_counted(self):
+        loaded = _synthetic_campaign(
+            [
+                _synthetic_report(sub=2e-9, gate=1e-9, btbt=1e-9),
+                _synthetic_report(sub=1e-9, gate=1e-9, btbt=1e-9),
+            ]
+        )
+        unloaded = _synthetic_campaign(
+            [
+                _synthetic_report(sub=1e-9, gate=1e-9, btbt=1e-9),
+                # Second vector has zero unloaded subthreshold: no defined
+                # percent change for that component.
+                _synthetic_report(sub=0.0, gate=1e-9, btbt=1e-9),
+            ]
+        )
+        stats = loading_impact_statistics(loaded, unloaded)
+        # Only the first vector contributes; the old code averaged in a
+        # silent 0% for the second and reported 50% here.
+        assert stats.average_percent["subthreshold"] == pytest.approx(100.0)
+        assert stats.maximum_percent["subthreshold"] == pytest.approx(100.0)
+        assert stats.skipped_vectors["subthreshold"] == 1
+        assert stats.skipped_vectors["total"] == 0
+
+    def test_all_vectors_skipped_yields_nan(self):
+        loaded = _synthetic_campaign([_synthetic_report(btbt=1e-9)])
+        unloaded = _synthetic_campaign([_synthetic_report(btbt=0.0)])
+        stats = loading_impact_statistics(loaded, unloaded)
+        assert math.isnan(stats.average_percent["btbt"])
+        assert math.isnan(stats.maximum_percent["btbt"])
+        assert stats.skipped_vectors["btbt"] == 1
