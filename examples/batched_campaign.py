@@ -13,7 +13,10 @@ arrays once, then answers whole vector sets as array passes:
 * the same LUT totals feed ``minimum_leakage_vector``, so exhaustive
   searches over small circuits are a single batched evaluation.
 
-Run with ``python examples/batched_campaign.py``.
+Run with ``python examples/batched_campaign.py``.  The layer *below* this —
+characterizing the library and the Monte-Carlo variation study through the
+batched DC solver — is walked end-to-end by
+``examples/batched_characterization.py``.
 """
 
 import time

@@ -17,11 +17,16 @@ the three dominant leakage mechanisms of a nano-scale bulk MOSFET:
 :class:`repro.device.mosfet.Mosfet` composes the three mechanisms into a
 four-terminal element that reports signed terminal currents (for Kirchhoff
 solves) plus a per-component breakdown (for leakage reports).
+:class:`repro.device.batched.PackedMosfets` is the vectorized twin: it packs
+a (transistor-slot x batch-instance) grid of MOSFETs into parameter arrays
+and evaluates all of them in one NumPy pass — the device-layer backend of the
+batched DC solver.
 :mod:`repro.device.presets` provides calibrated 50 nm and 25 nm NMOS/PMOS
 devices and the D25-S / D25-G / D25-JN variants used in Section 5.1 of the
 paper.
 """
 
+from repro.device.batched import PackedMosfets
 from repro.device.params import (
     BtbtParams,
     DeviceParams,
@@ -48,6 +53,7 @@ __all__ = [
     "TechnologyParams",
     "Mosfet",
     "MosfetCurrents",
+    "PackedMosfets",
     "DeviceVariant",
     "device_pair",
     "make_device",

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.device.params import BtbtParams, DeviceParams
 from repro.utils.constants import ROOM_TEMPERATURE_K, silicon_bandgap
-from repro.utils.mathtools import safe_exp
+from repro.utils.mathtools import safe_exp, safe_exp_np
 
 
 def _relative_field(vrev: float, params: BtbtParams) -> float:
@@ -76,6 +78,41 @@ def btbt_current_density(
     )
     reference = safe_exp(-params.b_field)
     return params.jbtbt_ref * shape / reference
+
+
+def btbt_current_density_v(
+    vrev: np.ndarray,
+    *,
+    jbtbt_ref: np.ndarray,
+    vref: np.ndarray,
+    psi_bi: np.ndarray,
+    field_exponent: np.ndarray,
+    field_scale: np.ndarray,
+    b_eff: np.ndarray,
+    reference: np.ndarray,
+) -> np.ndarray:
+    """Vectorized junction BTBT current density (A/um^2).
+
+    Array twin of :func:`btbt_current_density`.  ``field_scale`` is the
+    pre-computed ``sqrt(halo / (halo_ref * (vref + psi_bi)))`` doping factor
+    (so ``field = field_scale * sqrt(vrev + psi_bi)``), ``b_eff`` the Kane
+    exponent already scaled by the bandgap temperature factor, and
+    ``reference`` the ``safe_exp(-b_field)`` normalization — all
+    bias-independent, pre-computed by the packed-device layer.  Non-reverse
+    bias (``vrev <= 0``) yields exactly zero, as in the scalar model.
+    """
+    vrev = np.asarray(vrev, dtype=float)
+    vrev_clipped = np.maximum(vrev, 0.0)
+    field = field_scale * np.sqrt(vrev_clipped + psi_bi)
+    field_safe = np.where(field > 0.0, field, 1.0)
+    shape = (
+        field_safe**field_exponent
+        * (vrev_clipped / vref)
+        * safe_exp_np(-b_eff / field_safe)
+    )
+    density = jbtbt_ref * shape / reference
+    valid = (vrev > 0.0) & (jbtbt_ref > 0.0) & (field > 0.0)
+    return np.where(valid, density, 0.0)
 
 
 def junction_btbt_current(

@@ -26,9 +26,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.device.params import DeviceParams, GateTunnelingParams
 from repro.utils.constants import ROOM_TEMPERATURE_K
-from repro.utils.mathtools import safe_exp, smooth_step
+from repro.utils.mathtools import safe_exp, safe_exp_np, smooth_step, smooth_step_np
 
 #: Oxide voltage below which the shape function switches to its Taylor limit.
 _SMALL_VOX = 1.0e-6
@@ -76,6 +78,115 @@ def tunneling_current_density(
     # mirrors the almost-flat curve in the paper's Fig. 4(c).
     value *= 1.0 + params.temp_coeff_per_k * (temperature_k - ROOM_TEMPERATURE_K)
     return max(value, 0.0)
+
+
+def tunneling_current_density_v(
+    vox_magnitude: np.ndarray,
+    tox_nm: np.ndarray,
+    *,
+    barrier_ev: np.ndarray,
+    b_tox_per_nm: np.ndarray,
+    density_scale: np.ndarray,
+    temp_factor: np.ndarray,
+) -> np.ndarray:
+    """Vectorized gate-tunneling current-density magnitude (A/um^2).
+
+    Array twin of :func:`tunneling_current_density`.  ``vox_magnitude`` must
+    be non-negative (callers take ``abs`` and re-assign the sign);
+    ``density_scale`` is the pre-computed ``jg_ref / shape(vref, tox_ref)``
+    calibration factor (zero when the reference shape vanishes) and
+    ``temp_factor`` the linear temperature correction — both are
+    bias-independent, so the packed-device layer computes them once per
+    solve.  All parameter arrays broadcast against ``vox_magnitude``.
+    """
+    phi = barrier_ev
+    ratio = vox_magnitude / phi
+    # Guarded denominator: the small-Vox and zero branches never read it.
+    vox_safe = np.where(vox_magnitude < _SMALL_VOX, 1.0, vox_magnitude)
+    remaining = np.maximum(1.0 - ratio, 0.0)
+    mid_term = (1.0 - remaining * np.sqrt(remaining)) / vox_safe
+    barrier_term = np.where(
+        ratio >= 1.0,
+        1.0 / vox_safe,
+        np.where(vox_magnitude < _SMALL_VOX, 1.5 / phi, mid_term),
+    )
+    exponent = -b_tox_per_nm * tox_nm * phi * barrier_term / 1.5
+    prefactor = vox_magnitude / tox_nm
+    shape = prefactor * prefactor * safe_exp_np(exponent)
+    return np.maximum(density_scale * shape * temp_factor, 0.0)
+
+
+def gate_tunneling_components_v(
+    vg: np.ndarray,
+    vd: np.ndarray,
+    vs: np.ndarray,
+    vb: np.ndarray,
+    *,
+    vth_eff: np.ndarray,
+    tox_nm: np.ndarray,
+    overlap_area_um2: np.ndarray,
+    gate_area_um2: np.ndarray,
+    accumulation_factor: np.ndarray,
+    gb_fraction: np.ndarray,
+    barrier_ev: np.ndarray,
+    b_tox_per_nm: np.ndarray,
+    density_scale: np.ndarray,
+    temp_factor: np.ndarray,
+    igate_scale: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized gate-tunneling components ``(igso, igdo, igcs, igcd, igb)``.
+
+    Array twin of :func:`gate_tunneling_components`, evaluated in the
+    normalized (NMOS-like, source/drain ordered) frame.  Sign conventions
+    match the scalar path: positive means conventional current from the gate
+    terminal into the device.  The four oxide-voltage evaluations (both
+    overlaps, channel, bulk) are fused into a single density call on a
+    stacked array — one pass through the shape function instead of four.
+    """
+    inversion = smooth_step_np(vg - vs - vth_eff, width=0.05)
+    channel_potential = vs + 0.5 * np.maximum(
+        np.minimum(vg - vth_eff, vd) - vs, 0.0
+    )
+
+    vox = np.concatenate([vg - vs, vg - vd, vg - channel_potential, vg - vb])
+
+    def stack4(parameter: np.ndarray) -> np.ndarray:
+        parameter = np.asarray(parameter)
+        if parameter.ndim == 0:  # pragma: no cover - scalar parameter
+            return parameter
+        return np.concatenate([parameter] * 4)
+
+    magnitude = tunneling_current_density_v(
+        np.abs(vox),
+        stack4(tox_nm),
+        barrier_ev=stack4(barrier_ev),
+        b_tox_per_nm=stack4(b_tox_per_nm),
+        density_scale=stack4(density_scale),
+        temp_factor=stack4(temp_factor),
+    )
+    density_so, density_do, density_channel, density_bulk = np.split(
+        np.sign(vox) * magnitude, 4
+    )
+
+    igso = overlap_area_um2 * density_so * igate_scale
+    igdo = overlap_area_um2 * density_do * igate_scale
+    igc_total = gate_area_um2 * density_channel * inversion * igate_scale
+    igb_acc = (
+        gate_area_um2
+        * density_bulk
+        * accumulation_factor
+        * (1.0 - inversion)
+        * igate_scale
+    )
+
+    igb_inv = igc_total * gb_fraction
+    igc_effective = igc_total - igb_inv
+    # Smoothly blended source/drain partition; see the scalar twin for why
+    # a fixed 0.6/0.4 split would make the KCL residual discontinuous.
+    source_share = 0.4 + 0.2 * smooth_step_np(vd - vs, width=0.05)
+    igcs = source_share * igc_effective
+    igcd = (1.0 - source_share) * igc_effective
+    return igso, igdo, igcs, igcd, igb_inv + igb_acc
 
 
 class GateTunnelingComponents:
@@ -187,9 +298,16 @@ def gate_tunneling_components(
 
     # The channel current partitions between source and drain ends; with the
     # drain at a higher potential the source end sees the larger oxide field,
-    # so it receives the larger share.
-    igcs = 0.6 * igc_effective
-    igcd = 0.4 * igc_effective
+    # so it receives the larger share.  The share is blended smoothly from
+    # 0.5/0.5 at Vds = 0 toward the asymptotic 0.6/0.4 split: the caller
+    # orders source/drain by potential, so a fixed asymmetric split would
+    # make the terminal currents jump when a floating node crosses its
+    # neighbour's voltage — a residual discontinuity that leaves the DC
+    # solvers' root location ill-defined at exactly the stack-node
+    # equilibria the characterization sweeps sit on.
+    source_share = 0.4 + 0.2 * smooth_step(vd - vs, width=0.05)
+    igcs = source_share * igc_effective
+    igcd = (1.0 - source_share) * igc_effective
 
     return GateTunnelingComponents(
         igso=igso,

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 from repro.device.params import DeviceParams
 from repro.utils.constants import EPSILON_OX, ROOM_TEMPERATURE_K, thermal_voltage
-from repro.utils.mathtools import log1p_exp
+from repro.utils.mathtools import log1p_exp, log1p_exp_np
 
 import math
+
+import numpy as np
 
 
 def oxide_capacitance_per_area(tox_nm: float) -> float:
@@ -150,6 +152,60 @@ def channel_current(
     reverse = log1p_exp((vp - vds) / (2.0 * vt)) ** 2
     current = i_spec * (forward - reverse)
     return current * device.isub_scale
+
+
+def effective_threshold_v(
+    vds: np.ndarray,
+    vbs: np.ndarray,
+    *,
+    vth_base: np.ndarray,
+    body_gamma: np.ndarray,
+    phi_s: np.ndarray,
+    sqrt_phi_s: np.ndarray,
+    dibl: np.ndarray,
+) -> np.ndarray:
+    """Vectorized effective threshold (normalized, NMOS-like frame).
+
+    This is the array twin of :func:`effective_threshold`; it is written
+    against pre-extracted parameter arrays instead of a single
+    :class:`DeviceParams` so one call can evaluate a whole batch of
+    transistors whose flavours, geometry shifts and temperatures terms
+    differ.  ``vth_base`` must already contain every bias-independent term:
+    ``vth0``, the temperature coefficient, the short-channel geometry
+    sensitivities, the halo term, and any per-instance ``vth_shift``.  All
+    parameter arrays broadcast against the voltage arrays.
+    """
+    body = body_gamma * (np.sqrt(np.maximum(phi_s - vbs, 0.0)) - sqrt_phi_s)
+    return vth_base + body - dibl * np.maximum(vds, 0.0)
+
+
+def channel_current_v(
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    temperature_k: float,
+    *,
+    vth_eff: np.ndarray,
+    n_swing: np.ndarray,
+    i_spec: np.ndarray,
+    theta_mobility: np.ndarray,
+    isub_scale: np.ndarray,
+) -> np.ndarray:
+    """Vectorized channel (drain-to-source) current, ``vds >= 0`` frame.
+
+    Array twin of :func:`channel_current`.  ``vth_eff`` is the effective
+    threshold *including* any per-instance shift (matching the scalar path,
+    which folds ``Mosfet.vth_shift`` into the threshold before evaluating);
+    ``i_spec`` is the pre-computed EKV specific current at ``temperature_k``.
+    """
+    vt = thermal_voltage(temperature_k)
+    vp = (vgs - vth_eff) / n_swing
+    overdrive = vgs - vth_eff
+    # Mobility degradation is active only above threshold; clamping the
+    # overdrive at zero reproduces the scalar branch exactly.
+    degradation = 1.0 + theta_mobility * np.maximum(overdrive, 0.0)
+    forward = log1p_exp_np(vp / (2.0 * vt)) ** 2
+    reverse = log1p_exp_np((vp - vds) / (2.0 * vt)) ** 2
+    return (i_spec / degradation) * (forward - reverse) * isub_scale
 
 
 def is_off(

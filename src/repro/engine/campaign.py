@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.report import CircuitLeakageReport, GateLeakage
 from repro.engine.compile import CompiledCircuit
+from repro.gates.lut import enforce_injection_range
 from repro.spice.analysis import ComponentBreakdown
 
 #: Vector-chunk size bounding the engine's peak memory (the widest per-chunk
@@ -292,6 +293,23 @@ def _run_chunk(
             raise KeyError(
                 f"pin index {int(p_bad)} of {table.name} has no characterized "
                 f"response but sees a nonzero loading current"
+            )
+
+        # The same out-of-range policy as ResponseCurve.breakdown_at: the
+        # engine interpolates baked arrays directly, so it reports clamped
+        # lookups itself (warn once per gate type and direction).
+        low, high = float(table.grid[0]), float(table.grid[-1])
+        out_low = active & (loading < low)
+        out_high = active & (loading > high)
+        if np.any(out_low):
+            enforce_injection_range(
+                f"gate type {table.name!r}", float(loading[out_low].min()),
+                low, high, dedup_key=("engine", table.name),
+            )
+        if np.any(out_high):
+            enforce_injection_range(
+                f"gate type {table.name!r}", float(loading[out_high].max()),
+                low, high, dedup_key=("engine", table.name),
             )
 
         nominal = table.nominal[packed]  # (n, V, 3)

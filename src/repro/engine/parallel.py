@@ -3,14 +3,22 @@
 Every Monte-Carlo sample of :mod:`repro.variation.montecarlo` is an
 independent pair of transistor-level DC solves — embarrassingly parallel and
 CPU-bound, i.e. exactly the workload a process pool (not threads: the solves
-are pure Python) speeds up.
+are pure Python/NumPy) speeds up.
+
+With the default ``engine="batched"`` the unit of distribution is a
+*contiguous batch* of samples, not a single sample: each worker flattens its
+chunk and runs two :class:`~repro.spice.batched.BatchedDcSolver` solves, so
+process-level parallelism multiplies the batched solver's vectorization
+instead of replacing it.  ``engine="scalar"`` distributes one sample per
+pool task through the original reference path.
 
 Reproducibility is the design constraint: both the serial driver and this
 parallel one derive sample ``i``'s generator from the same
-``SeedSequence.spawn`` tree (:func:`repro.utils.rng.spawn_streams`), so a
-run is bitwise-identical for a given root seed regardless of worker count,
-chunking, or completion order.  The regression tests pin the parallel
-samples against the serial driver's.
+``SeedSequence.spawn`` tree (:func:`repro.utils.rng.spawn_streams`), and the
+batched solver's per-column updates are independent of batch composition, so
+a run is bitwise-identical for a given root seed and engine regardless of
+worker count, chunking, or completion order.  The regression tests pin the
+parallel samples against the serial driver's.
 """
 
 from __future__ import annotations
@@ -23,8 +31,10 @@ from repro.spice.solver import SolverOptions
 from repro.utils.rng import RngLike, spawn_streams
 from repro.variation.montecarlo import (
     MonteCarloResult,
+    _simulate_batch_star,
     _simulate_sample_star,
     build_sample_task,
+    simulate_batch,
     simulate_sample,
 )
 from repro.variation.spec import VariationSpec
@@ -45,6 +55,10 @@ class ParallelMonteCarlo:
         Worker-process count; ``None`` uses the CPU count (capped at 8 —
         beyond that pool startup dominates for typical sample counts) and
         ``1`` runs in-process with no pool at all.
+    engine:
+        ``"batched"`` (default) ships contiguous stream chunks to workers,
+        each solved as one batch; ``"scalar"`` ships single samples through
+        the reference path.
     """
 
     def __init__(
@@ -57,6 +71,7 @@ class ParallelMonteCarlo:
         temperature_k: float | None = None,
         solver_options: SolverOptions | None = None,
         max_workers: int | None = None,
+        engine: str = "batched",
     ) -> None:
         self.task = build_sample_task(
             technology,
@@ -71,22 +86,46 @@ class ParallelMonteCarlo:
             max_workers = min(os.cpu_count() or 1, 8)
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if engine not in ("batched", "scalar"):
+            raise ValueError(f"unknown Monte-Carlo engine {engine!r}")
         self.max_workers = max_workers
+        self.engine = engine
 
     def run(self, samples: int, rng: RngLike = None) -> MonteCarloResult:
         """Run ``samples`` Monte-Carlo samples and return the paired results.
 
         Samples keep their stream order in the result (worker completion
         order never matters), so ``run(n, seed)`` equals the serial
-        ``run_loaded_inverter_monte_carlo(..., samples=n, rng=seed)``
-        sample for sample.
+        ``run_loaded_inverter_monte_carlo(..., samples=n, rng=seed,
+        engine=...)`` sample for sample — bitwise, for either engine.
         """
         if samples < 1:
             raise ValueError("samples must be at least 1")
         task = self.task
         streams = spawn_streams(rng, samples)
         workers = min(self.max_workers, samples)
-        if workers == 1:
+        if self.engine == "batched":
+            if workers == 1:
+                results = simulate_batch(task, streams)
+            else:
+                # Contiguous chunks, one batch per pool task; order-preserving
+                # map + per-column solver independence keep results identical
+                # to the serial batch whatever the chunk boundaries are.
+                chunk = -(-samples // workers)
+                chunks = [
+                    streams[start : start + chunk]
+                    for start in range(0, samples, chunk)
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    results = [
+                        sample
+                        for batch in pool.map(
+                            _simulate_batch_star,
+                            [(task, chunk_streams) for chunk_streams in chunks],
+                        )
+                        for sample in batch
+                    ]
+        elif workers == 1:
             results = [simulate_sample(task, stream) for stream in streams]
         else:
             chunksize = max(1, samples // (workers * 4))

@@ -83,8 +83,14 @@ def run_fig10_variation_histograms(
     rng: RngLike = 0,
     input_loads: int = 6,
     output_loads: int = 6,
+    engine: str = "batched",
 ) -> Fig10Result:
-    """Run the Fig. 10 Monte-Carlo study (input '0', output '1')."""
+    """Run the Fig. 10 Monte-Carlo study (input '0', output '1').
+
+    ``engine`` selects the Monte-Carlo solver path: ``"batched"`` (default)
+    solves all samples as one batch, ``"scalar"`` keeps the per-sample
+    reference loop.
+    """
     technology = technology or make_technology("d25-s")
     monte_carlo = run_loaded_inverter_monte_carlo(
         technology,
@@ -94,5 +100,6 @@ def run_fig10_variation_histograms(
         input_value=0,
         input_loads=input_loads,
         output_loads=output_loads,
+        engine=engine,
     )
     return Fig10Result(monte_carlo=monte_carlo)

@@ -72,8 +72,14 @@ def run_fig11_variation_statistics(
     rng: RngLike = 0,
     component: str = "total",
     base_spec: VariationSpec | None = None,
+    engine: str = "batched",
 ) -> Fig11Result:
-    """Sweep the inter-die Vth sigma and collect mean/std loading shifts."""
+    """Sweep the inter-die Vth sigma and collect mean/std loading shifts.
+
+    ``engine`` selects the Monte-Carlo solver path (``"batched"`` default,
+    ``"scalar"`` reference), as in
+    :func:`repro.variation.montecarlo.run_loaded_inverter_monte_carlo`.
+    """
     technology = technology or make_technology("d25-s")
     base_spec = base_spec or VariationSpec()
     generator = ensure_rng(rng)
@@ -86,6 +92,7 @@ def run_fig11_variation_statistics(
             samples=samples,
             rng=generator,
             input_value=0,
+            engine=engine,
         )
         loaded = monte_carlo.values(component, loaded=True)
         unloaded = monte_carlo.values(component, loaded=False)

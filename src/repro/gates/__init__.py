@@ -8,7 +8,10 @@ Public entry points:
   per-pin loading responses, per-pin gate-tunneling injection currents) used
   by the circuit-level estimator;
 * :func:`save_library` / :func:`load_library` — JSON persistence of the
-  characterization cache.
+  characterization cache, fingerprinted with the full technology +
+  characterization settings so stale records are refused on load;
+* :func:`set_extrapolation_policy` — process-wide policy for response-curve
+  lookups outside the characterized injection range.
 """
 
 from repro.gates.library import (
@@ -19,13 +22,22 @@ from repro.gates.library import (
     inverting_gate_types,
 )
 from repro.gates.templates import build_gate_transistors, transistor_count
-from repro.gates.lut import GateVectorCharacterization, ResponseCurve
+from repro.gates.lut import (
+    GateVectorCharacterization,
+    ResponseCurve,
+    ResponseCurveRangeWarning,
+    set_extrapolation_policy,
+)
 from repro.gates.characterize import (
     CharacterizationOptions,
     GateCharacterizer,
     GateLibrary,
 )
-from repro.gates.cache import load_library, save_library
+from repro.gates.cache import (
+    characterization_fingerprint,
+    load_library,
+    save_library,
+)
 
 __all__ = [
     "GateSpec",
@@ -37,9 +49,12 @@ __all__ = [
     "transistor_count",
     "GateVectorCharacterization",
     "ResponseCurve",
+    "ResponseCurveRangeWarning",
+    "set_extrapolation_policy",
     "CharacterizationOptions",
     "GateCharacterizer",
     "GateLibrary",
+    "characterization_fingerprint",
     "load_library",
     "save_library",
 ]

@@ -4,21 +4,83 @@ Characterizing a full library takes a few seconds of DC solves; persisting
 the records lets repeated benchmark runs (and users embedding the estimator
 into larger flows) skip re-characterization.  The format is plain JSON so it
 is inspectable and diff-able; no attempt is made to be clever about floats.
+
+Cache validity: a record is only reusable when it was characterized under
+the *same settings* — the same technology (every device parameter, not just
+the name), the same injection grid, driver fanout and solver tolerances.
+Each cache file therefore carries a fingerprint of the full
+:class:`~repro.device.params.TechnologyParams` and
+:class:`~repro.gates.characterize.CharacterizationOptions`, and a strict
+load refuses a mismatch instead of silently returning records characterized
+under different settings.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.gates.characterize import GateLibrary
+from repro.device.params import TechnologyParams
+from repro.gates.characterize import CharacterizationOptions, GateLibrary
 from repro.gates.lut import GateVectorCharacterization, ResponseCurve
 from repro.spice.analysis import ComponentBreakdown
 
-#: Format version written into every cache file.
-CACHE_FORMAT_VERSION = 1
+#: Format version written into every cache file.  Version 2 added the
+#: settings fingerprint; version-1 files predate it and are refused.
+CACHE_FORMAT_VERSION = 2
+
+
+def _canonical(value):
+    """Convert nested dataclasses/enums/tuples to canonical JSON-able types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, float) and value != value:  # pragma: no cover - NaN guard
+        return "nan"
+    return value
+
+
+def characterization_settings(
+    technology: TechnologyParams,
+    options: CharacterizationOptions,
+    temperature_k: float,
+) -> dict[str, object]:
+    """Return the canonical settings dictionary a cache is fingerprinted on.
+
+    Contains every input that can change a characterized record: the full
+    technology parameter tree (both device flavours), the characterization
+    options (injection grid, drivers, solver tolerances, engine) and the
+    characterization temperature.
+    """
+    return {
+        "technology": _canonical(technology),
+        "options": _canonical(options),
+        "temperature_k": temperature_k,
+    }
+
+
+def characterization_fingerprint(
+    technology: TechnologyParams,
+    options: CharacterizationOptions,
+    temperature_k: float,
+) -> str:
+    """Return a stable hex digest of the characterization settings."""
+    payload = json.dumps(
+        characterization_settings(technology, options, temperature_k),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def _breakdown_to_dict(breakdown: ComponentBreakdown) -> dict[str, float]:
@@ -86,17 +148,34 @@ def record_from_dict(data: dict[str, object]) -> GateVectorCharacterization:
     )
 
 
+def _library_settings(library: GateLibrary) -> tuple[dict[str, object], str]:
+    options = library.characterizer.options
+    settings = characterization_settings(
+        library.technology, options, library.temperature_k
+    )
+    fingerprint = characterization_fingerprint(
+        library.technology, options, library.temperature_k
+    )
+    return settings, fingerprint
+
+
 def save_library(library: GateLibrary, path: str | Path) -> int:
     """Write every cached record of ``library`` to ``path`` (JSON).
 
-    Returns the number of records written.
+    Alongside the records the file stores the full characterization
+    settings (technology parameters, options, temperature) and their
+    fingerprint, so a strict load can verify provenance.  Returns the number
+    of records written.
     """
     records = library.cached_records()
+    settings, fingerprint = _library_settings(library)
     payload = {
         "format_version": CACHE_FORMAT_VERSION,
         "technology": library.technology.name,
         "vdd": library.vdd,
         "temperature_k": library.temperature_k,
+        "fingerprint": fingerprint,
+        "settings": settings,
         "records": [record_to_dict(record) for record in records],
     }
     path = Path(path)
@@ -105,16 +184,30 @@ def save_library(library: GateLibrary, path: str | Path) -> int:
     return len(records)
 
 
+def _describe_mismatch(
+    stored: dict[str, object], current: dict[str, object]
+) -> list[str]:
+    """Return the top-level settings sections that differ."""
+    mismatches = []
+    for key in ("technology", "options", "temperature_k"):
+        if stored.get(key) != current.get(key):
+            mismatches.append(key)
+    return mismatches or ["settings"]
+
+
 def load_library(library: GateLibrary, path: str | Path, strict: bool = True) -> int:
     """Load records from ``path`` into ``library``'s cache.
 
     Parameters
     ----------
     strict:
-        When True (default) the cache file must match the library's
-        technology name, supply and temperature; a mismatch raises
-        ``ValueError``.  When False the records are loaded regardless, which
-        is only appropriate for exploratory work.
+        When True (default) the cache fingerprint must match the library's
+        full characterization settings — every technology parameter, the
+        injection grid, driver fanout, solver tolerances and engine; any
+        mismatch raises ``ValueError`` naming the differing section, so a
+        stale cache can never silently supply records characterized under
+        different settings.  When False the records are loaded regardless,
+        which is only appropriate for exploratory work.
 
     Returns the number of records loaded.
     """
@@ -124,16 +217,14 @@ def load_library(library: GateLibrary, path: str | Path, strict: bool = True) ->
             f"unsupported cache format version {payload.get('format_version')!r}"
         )
     if strict:
-        mismatches = []
-        if payload.get("technology") != library.technology.name:
-            mismatches.append("technology")
-        if abs(float(payload.get("vdd", -1.0)) - library.vdd) > 1e-9:
-            mismatches.append("vdd")
-        if abs(float(payload.get("temperature_k", -1.0)) - library.temperature_k) > 1e-9:
-            mismatches.append("temperature_k")
-        if mismatches:
+        current_settings, current_fingerprint = _library_settings(library)
+        if payload.get("fingerprint") != current_fingerprint:
+            mismatches = _describe_mismatch(
+                payload.get("settings") or {}, current_settings
+            )
             raise ValueError(
-                f"characterization cache does not match the library ({', '.join(mismatches)})"
+                "characterization cache does not match the library "
+                f"({', '.join(mismatches)})"
             )
     records = [record_from_dict(item) for item in payload["records"]]
     library.load_records(records)

@@ -10,9 +10,17 @@ For every (gate type, input vector) it builds a small characterization cell:
 * the DUT output left floating except for the DUT's own pull network, so an
   injected current perturbs it the same way fanout gate-tunneling does.
 
-The cell is solved with the reference DC solver, once without loading (the
-nominal record) and once per (pin, injection) grid point, giving the
-per-pin response curves of :class:`~repro.gates.lut.GateVectorCharacterization`.
+The cell is solved once without loading (the nominal record) and once per
+(pin, injection) grid point, giving the per-pin response curves of
+:class:`~repro.gates.lut.GateVectorCharacterization`.  Two solver engines are
+available (``CharacterizationOptions.engine``):
+
+* ``"batched"`` (default) — all cells of a (gate type, vector), or of a whole
+  gate type, are one :class:`~repro.spice.batched.BatchedDcSolver` call: the
+  nominal cells solve first, then every (pin, injection) cell solves in a
+  single batch warm-started from its vector's nominal operating point;
+* ``"scalar"`` — the original one-:class:`DcSolver`-per-cell path, kept as
+  the cross-check oracle for the batched engine.
 
 :class:`GateLibrary` wraps the characterizer with caching so a circuit-level
 run characterizes each (gate type, vector) at most once.
@@ -33,6 +41,7 @@ from repro.spice.analysis import (
     gate_injection_at_node,
     leakage_by_owner,
 )
+from repro.spice.batched import BatchedDcSolver
 from repro.spice.netlist import TransistorNetlist
 from repro.spice.solver import DcSolver, OperatingPoint, SolverOptions
 
@@ -61,12 +70,18 @@ class CharacterizationOptions:
         upstream stage.
     solver:
         DC solver options used for every cell solve.
+    engine:
+        ``"batched"`` (default) solves a vector's whole injection grid — or a
+        gate type's whole (vector, pin, injection) sweep — as one batched DC
+        solve; ``"scalar"`` keeps the original per-cell :class:`DcSolver`
+        path as the cross-check oracle.
     """
 
     injection_grid: tuple[float, ...] = DEFAULT_INJECTION_GRID
     include_drivers: bool = True
     driver_fanout: float = 1.0
     solver: SolverOptions = field(default_factory=SolverOptions)
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         grid = tuple(float(x) for x in self.injection_grid)
@@ -77,6 +92,21 @@ class CharacterizationOptions:
         object.__setattr__(self, "injection_grid", grid)
         if self.driver_fanout <= 0:
             raise ValueError("driver_fanout must be positive")
+        if self.engine not in ("batched", "scalar"):
+            raise ValueError(f"unknown characterization engine {self.engine!r}")
+
+    def curve_grid(self) -> list[float]:
+        """Return the response-curve abscissae: the grid with 0.0 included.
+
+        Both characterization engines build their :class:`ResponseCurve`
+        objects on exactly this grid (the zero point reuses the nominal
+        solve), so sharing the construction here keeps their records
+        structurally identical.
+        """
+        grid = list(self.injection_grid)
+        if 0.0 not in grid:
+            grid = sorted(grid + [0.0])
+        return grid
 
 
 @dataclass
@@ -86,6 +116,16 @@ class CellSolution:
     netlist: TransistorNetlist
     op: OperatingPoint
     dut_breakdown: ComponentBreakdown
+    input_nets: dict[str, str]
+    output_net: str
+
+
+@dataclass
+class _CellBuild:
+    """An unsolved characterization cell (shared by both solver engines)."""
+
+    netlist: TransistorNetlist
+    initial: dict[str, float]
     input_nets: dict[str, str]
     output_net: str
 
@@ -131,6 +171,25 @@ class GateCharacterizer:
         if unknown:
             raise ValueError(f"unknown pins for {spec.name}: {sorted(unknown)}")
 
+        cell = self._build_cell(spec, vector, injections)
+        solver = DcSolver(cell.netlist, self.temperature_k, self.options.solver)
+        op = solver.solve(initial_voltages=cell.initial)
+        breakdown = leakage_by_owner(cell.netlist, op).get(_DUT, ComponentBreakdown())
+        return CellSolution(
+            netlist=cell.netlist,
+            op=op,
+            dut_breakdown=breakdown,
+            input_nets=cell.input_nets,
+            output_net=cell.output_net,
+        )
+
+    def _build_cell(
+        self,
+        spec: GateSpec,
+        vector: tuple[int, ...],
+        injections: dict[str, float],
+    ) -> _CellBuild:
+        """Build (without solving) one characterization cell."""
         vdd = self.technology.vdd
         netlist = TransistorNetlist(vdd=vdd)
         pins: dict[str, str] = {}
@@ -170,13 +229,9 @@ class GateCharacterizer:
             net = output_net if pin == spec.output else input_nets[pin]
             netlist.add_current_source(net, amps)
 
-        solver = DcSolver(netlist, self.temperature_k, self.options.solver)
-        op = solver.solve(initial_voltages=initial)
-        breakdown = leakage_by_owner(netlist, op).get(_DUT, ComponentBreakdown())
-        return CellSolution(
+        return _CellBuild(
             netlist=netlist,
-            op=op,
-            dut_breakdown=breakdown,
+            initial=initial,
             input_nets=input_nets,
             output_net=output_net,
         )
@@ -187,6 +242,41 @@ class GateCharacterizer:
         """Return the full characterization record for (gate type, vector)."""
         spec = gate_spec(gate_type)
         vector = self._check_vector(spec, vector)
+        if self.options.engine == "scalar":
+            return self._characterize_scalar(spec, vector)
+        return self._characterize_batched(spec, [vector])[vector]
+
+    def characterize_type(
+        self,
+        gate_type: GateType | str,
+        vectors: list[tuple[int, ...]] | None = None,
+    ) -> dict[tuple[int, ...], GateVectorCharacterization]:
+        """Characterize several vectors of one gate type in one pass.
+
+        With the batched engine this is the fastest path through the
+        characterizer: the nominal cells of every vector solve as one batch,
+        then the whole (vector, pin, injection) sweep solves as a second
+        batch warm-started from the nominal operating points.
+        """
+        spec = gate_spec(gate_type)
+        if vectors is None:
+            vectors = spec.all_vectors()
+        vectors = [self._check_vector(spec, vector) for vector in vectors]
+        if len(set(vectors)) != len(vectors):
+            raise ValueError("duplicate vectors in characterize_type")
+        if not vectors:
+            return {}
+        if self.options.engine == "scalar":
+            return {
+                vector: self._characterize_scalar(spec, vector)
+                for vector in vectors
+            }
+        return self._characterize_batched(spec, vectors)
+
+    def _characterize_scalar(
+        self, spec: GateSpec, vector: tuple[int, ...]
+    ) -> GateVectorCharacterization:
+        """One-cell-at-a-time characterization (the oracle engine)."""
         nominal_cell = self.solve_cell(spec.gate_type, vector)
         nominal = nominal_cell.dut_breakdown
 
@@ -199,12 +289,7 @@ class GateCharacterizer:
             )
 
         responses: dict[str, ResponseCurve] = {}
-        characterizable_pins = list(spec.inputs) + [spec.output]
-        for pin in characterizable_pins:
-            if pin != spec.output and not self.options.include_drivers:
-                # With ideal (fixed) inputs an injected current cannot move
-                # the input net, so there is no input-loading response.
-                continue
+        for pin in self._characterizable_pins(spec):
             responses[pin] = self._response_curve(spec, vector, pin, nominal)
 
         return GateVectorCharacterization(
@@ -217,6 +302,114 @@ class GateCharacterizer:
             responses=responses,
         )
 
+    def _characterize_batched(
+        self, spec: GateSpec, vectors: list[tuple[int, ...]]
+    ) -> dict[tuple[int, ...], GateVectorCharacterization]:
+        """Characterize ``vectors`` of one gate type with the batched solver.
+
+        Phase one solves the nominal (no-injection) cell of every vector as
+        one batch and reads the nominal breakdowns, node voltages and pin
+        injections from it.  Phase two builds every (vector, pin, injection)
+        cell, warm-starts each from its vector's solved nominal operating
+        point, and solves them all as a second batch.
+        """
+        options = self.options
+        grid = options.curve_grid()
+        nonzero = [amps for amps in grid if amps != 0.0]
+        pins = self._characterizable_pins(spec)
+
+        # Phase one: nominal cells, one column per vector.
+        nominal_cells = [self._build_cell(spec, vector, {}) for vector in vectors]
+        nominal_solver = BatchedDcSolver(
+            [cell.netlist for cell in nominal_cells],
+            self.temperature_k,
+            options.solver,
+        )
+        nominal_op = nominal_solver.solve(
+            initial_voltages=[cell.initial for cell in nominal_cells]
+        )
+        nominal_leakage = nominal_solver.leakage_by_owner(nominal_op)[_DUT]
+        input_nets = nominal_cells[0].input_nets
+        output_net = nominal_cells[0].output_net
+        injection_at_pin = {
+            pin: nominal_solver.gate_injection_at_node(nominal_op, net)
+            for pin, net in input_nets.items()
+        }
+
+        # Phase two: the full (vector, pin, injection) sweep in one batch,
+        # warm-started from the nominal voltages of each cell's vector.
+        tasks = [
+            (index, pin, amps)
+            for index in range(len(vectors))
+            for pin in pins
+            for amps in nonzero
+        ]
+        breakdown_of_task: dict[tuple[int, str, float], ComponentBreakdown] = {}
+        if tasks:
+            injection_cells = [
+                self._build_cell(spec, vectors[index], {pin: amps})
+                for index, pin, amps in tasks
+            ]
+            warm_starts = [
+                {
+                    name: float(nominal_op.voltages[row, index])
+                    for name, row in nominal_op.node_index.items()
+                }
+                for index, _pin, _amps in tasks
+            ]
+            injection_solver = BatchedDcSolver(
+                [cell.netlist for cell in injection_cells],
+                self.temperature_k,
+                options.solver,
+            )
+            injection_op = injection_solver.solve(initial_voltages=warm_starts)
+            injection_leakage = injection_solver.leakage_by_owner(injection_op)[_DUT]
+            for column, task in enumerate(tasks):
+                breakdown_of_task[task] = injection_leakage.at(column)
+
+        records: dict[tuple[int, ...], GateVectorCharacterization] = {}
+        for index, vector in enumerate(vectors):
+            nominal = nominal_leakage.at(index)
+            responses: dict[str, ResponseCurve] = {}
+            for pin in pins:
+                values = [
+                    nominal if amps == 0.0 else breakdown_of_task[(index, pin, amps)]
+                    for amps in grid
+                ]
+                responses[pin] = ResponseCurve(
+                    pin=pin,
+                    injections=np.asarray(grid),
+                    subthreshold=np.array([b.subthreshold for b in values]),
+                    gate=np.array([b.gate for b in values]),
+                    btbt=np.array([b.btbt for b in values]),
+                )
+            records[vector] = GateVectorCharacterization(
+                gate_type_name=spec.name,
+                vector=vector,
+                nominal=nominal,
+                output_voltage=float(nominal_op.voltage(output_net)[index]),
+                input_voltages={
+                    pin: float(nominal_op.voltage(net)[index])
+                    for pin, net in input_nets.items()
+                },
+                pin_injection={
+                    pin: float(array[index])
+                    for pin, array in injection_at_pin.items()
+                },
+                responses=responses,
+            )
+        return records
+
+    def _characterizable_pins(self, spec: GateSpec) -> list[str]:
+        """Return the pins a response curve is characterized for.
+
+        With ideal (fixed) inputs an injected current cannot move an input
+        net, so only the output pin has a loading response.
+        """
+        if not self.options.include_drivers:
+            return [spec.output]
+        return list(spec.inputs) + [spec.output]
+
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
@@ -227,9 +420,7 @@ class GateCharacterizer:
         pin: str,
         nominal: ComponentBreakdown,
     ) -> ResponseCurve:
-        grid = list(self.options.injection_grid)
-        if 0.0 not in grid:
-            grid = sorted(grid + [0.0])
+        grid = self.options.curve_grid()
         subthreshold, gate, btbt = [], [], []
         for amps in grid:
             if amps == 0.0:
@@ -362,13 +553,27 @@ class GateLibrary:
         )
 
     def precharacterize(self, gate_types: list[GateType | str]) -> int:
-        """Characterize every vector of the given gate types; return the count."""
+        """Characterize every vector of the given gate types; return the count.
+
+        Uncached vectors of a gate type are characterized together through
+        :meth:`GateCharacterizer.characterize_type`, so with the batched
+        engine a whole type costs two batched DC solves.
+        """
         count = 0
         for gate_type in gate_types:
             spec = gate_spec(gate_type)
-            for vector in spec.all_vectors():
-                self.characterization(spec.gate_type, vector)
-                count += 1
+            missing = [
+                vector
+                for vector in spec.all_vectors()
+                if (spec.name, vector) not in self._cache
+            ]
+            count += len(spec.all_vectors())
+            if not missing:
+                continue
+            for vector, record in self.characterizer.characterize_type(
+                spec.gate_type, missing
+            ).items():
+                self._cache[(spec.name, vector)] = record
         return count
 
     def cached_records(self) -> list[GateVectorCharacterization]:

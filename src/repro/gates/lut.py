@@ -13,11 +13,19 @@ library.  These containers hold that characterization:
 
 Lookups use piecewise-linear interpolation with flat extrapolation: loading
 currents beyond the characterized range saturate at the outermost
-characterized value rather than extrapolating an unphysical trend.
+characterized value rather than extrapolating an unphysical trend.  Because a
+silent clamp can quietly flat-line the response of a heavily loaded net (a
+large-fanout design point outside the Fig. 5-8 sweeps), out-of-range lookups
+are governed by a policy: ``"warn"`` (default) clamps but emits a
+``ResponseCurveRangeWarning`` once per (curve pin, direction), ``"raise"``
+turns the lookup into a ``ValueError``, and ``"clamp"`` restores the silent
+behaviour.  The policy can be set per call or process-wide with
+:func:`set_extrapolation_policy`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +34,90 @@ from repro.spice.analysis import ComponentBreakdown
 
 #: Component names stored by every response curve.
 COMPONENT_NAMES = ("subthreshold", "gate", "btbt")
+
+#: Valid out-of-range lookup policies.
+EXTRAPOLATION_POLICIES = ("clamp", "warn", "raise")
+
+#: Process-wide default policy for out-of-range lookups.
+_extrapolation_policy = "warn"
+
+#: (source, direction) pairs already warned about (the "warn once" memory).
+#: The source is the curve instance (or an external interpolator's label),
+#: so one noisy curve cannot silence warnings for every other gate type.
+_warned_ranges: set[tuple] = set()
+
+
+class ResponseCurveRangeWarning(UserWarning):
+    """A loading current exceeded a response curve's characterized range."""
+
+
+def _range_message(source: str, injection: float, low: float, high: float) -> str:
+    return (
+        f"loading current {injection:.3e} A at {source} is outside the "
+        f"characterized injection range [{low:.3e}, {high:.3e}] A; the "
+        "lookup clamps to the outermost characterized value "
+        "(re-characterize with a wider injection_grid to cover this loading)"
+    )
+
+
+def _resolve_policy(policy: str | None) -> str:
+    if policy is None:
+        return _extrapolation_policy
+    if policy not in EXTRAPOLATION_POLICIES:
+        raise ValueError(
+            f"unknown extrapolation policy {policy!r}; "
+            f"expected one of {EXTRAPOLATION_POLICIES}"
+        )
+    return policy
+
+
+def enforce_injection_range(
+    source: str,
+    injection: float,
+    low: float,
+    high: float,
+    policy: str | None = None,
+    dedup_key: object = None,
+) -> None:
+    """Apply the out-of-range policy on behalf of an external interpolator.
+
+    The batched campaign engine interpolates baked LUT arrays directly — it
+    never goes through :meth:`ResponseCurve.breakdown_at` — so it reports
+    its clamped out-of-range lookups here to keep the policy uniform across
+    engines.  ``source`` names the offender in the message; ``dedup_key``
+    scopes the warn-once memory (defaults to ``source``).
+    """
+    policy = _resolve_policy(policy)
+    if policy == "clamp" or low <= injection <= high:
+        return
+    message = _range_message(source, injection, low, high)
+    if policy == "raise":
+        raise ValueError(message)
+    key = (dedup_key if dedup_key is not None else source,
+           "low" if injection < low else "high")
+    if key in _warned_ranges:
+        return
+    _warned_ranges.add(key)
+    warnings.warn(message, ResponseCurveRangeWarning, stacklevel=3)
+
+
+def set_extrapolation_policy(policy: str) -> str:
+    """Set the process-wide out-of-range policy; returns the previous one.
+
+    Also clears the process-wide warn-once memory (used by external
+    interpolators such as the batched campaign engine); response curves keep
+    their own per-instance memory.
+    """
+    global _extrapolation_policy
+    if policy not in EXTRAPOLATION_POLICIES:
+        raise ValueError(
+            f"unknown extrapolation policy {policy!r}; "
+            f"expected one of {EXTRAPOLATION_POLICIES}"
+        )
+    previous = _extrapolation_policy
+    _extrapolation_policy = policy
+    _warned_ranges.clear()
+    return previous
 
 
 @dataclass(frozen=True)
@@ -65,18 +157,56 @@ class ResponseCurve:
         object.__setattr__(self, "subthreshold", np.asarray(self.subthreshold, float))
         object.__setattr__(self, "gate", np.asarray(self.gate, float))
         object.__setattr__(self, "btbt", np.asarray(self.btbt, float))
+        # Per-instance warn-once memory for out-of-range lookups (kept on
+        # the instance so one noisy curve can neither silence other curves
+        # nor grow a process-global set).
+        object.__setattr__(self, "_range_warned", set())
 
-    def breakdown_at(self, injection: float) -> ComponentBreakdown:
-        """Return the interpolated leakage breakdown at ``injection`` amps."""
+    def _check_range(self, injection: float, policy: str | None) -> None:
+        """Apply the out-of-range policy for a lookup at ``injection``.
+
+        The warn-once memory is scoped per curve instance and direction, so
+        an overrun on one gate type's curve does not silence warnings for
+        same-named pins of other gate types.
+        """
+        policy = _resolve_policy(policy)
+        low = float(self.injections[0])
+        high = float(self.injections[-1])
+        if policy == "clamp" or low <= injection <= high:
+            return
+        message = _range_message(f"pin {self.pin!r}", injection, low, high)
+        if policy == "raise":
+            raise ValueError(message)
+        direction = "low" if injection < low else "high"
+        if direction in self._range_warned:
+            return
+        self._range_warned.add(direction)
+        warnings.warn(message, ResponseCurveRangeWarning, stacklevel=4)
+
+    def breakdown_at(
+        self, injection: float, policy: str | None = None
+    ) -> ComponentBreakdown:
+        """Return the interpolated leakage breakdown at ``injection`` amps.
+
+        ``policy`` overrides the process-wide out-of-range policy for this
+        lookup (``"clamp"``, ``"warn"`` or ``"raise"``); see the module
+        docstring.
+        """
+        self._check_range(injection, policy)
         return ComponentBreakdown(
             subthreshold=float(np.interp(injection, self.injections, self.subthreshold)),
             gate=float(np.interp(injection, self.injections, self.gate)),
             btbt=float(np.interp(injection, self.injections, self.btbt)),
         )
 
-    def delta_at(self, injection: float, nominal: ComponentBreakdown) -> ComponentBreakdown:
+    def delta_at(
+        self,
+        injection: float,
+        nominal: ComponentBreakdown,
+        policy: str | None = None,
+    ) -> ComponentBreakdown:
         """Return the loading-induced change relative to ``nominal``."""
-        loaded = self.breakdown_at(injection)
+        loaded = self.breakdown_at(injection, policy=policy)
         return ComponentBreakdown(
             subthreshold=loaded.subthreshold - nominal.subthreshold,
             gate=loaded.gate - nominal.gate,

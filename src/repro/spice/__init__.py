@@ -8,6 +8,9 @@ netlists built from the compact models of :mod:`repro.device`.
 * :mod:`repro.spice.netlist` — nodes, transistor instances, current sources;
 * :mod:`repro.spice.solver` — Gauss–Seidel relaxation with bracketed scalar
   KCL solves per node (robust for weakly coupled leakage networks);
+* :mod:`repro.spice.batched` — the same sweep structure vectorized across a
+  batch of same-topology netlists (characterization grids, Monte-Carlo
+  samples), with the scalar solver retained as the cross-check oracle;
 * :mod:`repro.spice.analysis` — per-device and per-gate leakage component
   extraction at a solved operating point.
 
@@ -24,6 +27,11 @@ from repro.spice.netlist import (
     TransistorNetlist,
 )
 from repro.spice.solver import DcSolver, OperatingPoint, SolverOptions
+from repro.spice.batched import (
+    BatchedComponentBreakdown,
+    BatchedDcSolver,
+    BatchedOperatingPoint,
+)
 from repro.spice.analysis import (
     ComponentBreakdown,
     gate_injection_at_node,
@@ -39,6 +47,9 @@ __all__ = [
     "DcSolver",
     "OperatingPoint",
     "SolverOptions",
+    "BatchedComponentBreakdown",
+    "BatchedDcSolver",
+    "BatchedOperatingPoint",
     "ComponentBreakdown",
     "gate_injection_at_node",
     "leakage_by_owner",

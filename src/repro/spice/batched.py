@@ -1,0 +1,699 @@
+"""Batched DC operating-point solver: B same-topology netlists at once.
+
+:class:`BatchedDcSolver` solves ``B`` instances of one netlist *topology*
+simultaneously.  The instances must share structure (same node names and
+kinds, same transistor slots and polarities) but may differ in everything
+numeric: fixed-node voltages (including the supply itself), injected
+currents, device parameters and per-transistor threshold shifts.  That covers
+both batched workloads of this library:
+
+* gate characterization — one cell topology swept over (input vector, pin,
+  injection-current) grids, and
+* Monte-Carlo process variation — one circuit flattened per sample with
+  shifted technologies and per-transistor Vth shifts.
+
+Solution scheme
+---------------
+The sweep structure mirrors :class:`~repro.spice.solver.DcSolver` exactly —
+Gauss–Seidel relaxation with a periodic conducting-cluster supernode pass (a
+rigid common shift of each cluster) — but every per-node scalar solve becomes *one*
+vectorized bracketed root find across the whole batch
+(:func:`repro.utils.rootfind.chandrupatla`): the bracket window is expanded
+per column until the Kirchhoff residual changes sign (columns with no sign
+change over the admissible range are pinned to the smaller-residual endpoint,
+exactly like the scalar solver), then all columns converge together with
+per-column masking.
+
+Convergence masking: a batch instance whose largest node update falls below
+``voltage_tol`` is *frozen* — subsequent sweeps operate on the shrinking set
+of active columns only, so finished instances stop paying for the stragglers.
+Because every update in the sweep, the window expansion and the root finder
+is element-wise and masked, a column's trajectory is bit-for-bit independent
+of which other columns share the batch; solving ``B`` instances in one batch,
+in chunks, or one at a time produces identical voltages.  The parallel
+Monte-Carlo driver relies on this to stay reproducible across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.device.batched import PackedMosfets
+from repro.spice.analysis import ComponentBreakdown
+from repro.spice.netlist import NodeKind, TransistorNetlist
+from repro.spice.solver import OperatingPoint, SolverOptions
+from repro.utils.rootfind import chandrupatla
+
+#: Terminal evaluation order shared with :meth:`TransistorInstance.terminals`.
+_TERMINALS = ("gate", "drain", "source", "bulk")
+
+
+@dataclass(frozen=True)
+class BatchedComponentBreakdown:
+    """Per-instance leakage components of one owner, as ``(B,)`` arrays."""
+
+    subthreshold: np.ndarray
+    gate: np.ndarray
+    btbt: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        """Return the summed leakage per batch instance."""
+        return self.subthreshold + self.gate + self.btbt
+
+    def at(self, index: int) -> ComponentBreakdown:
+        """Return instance ``index`` as a scalar :class:`ComponentBreakdown`."""
+        return ComponentBreakdown(
+            subthreshold=float(self.subthreshold[index]),
+            gate=float(self.gate[index]),
+            btbt=float(self.btbt[index]),
+        )
+
+
+@dataclass
+class BatchedOperatingPoint:
+    """Result of a batched DC solve.
+
+    Attributes
+    ----------
+    node_index:
+        Node name to row of ``voltages``.
+    voltages:
+        Solved node voltages, shape ``(nodes, B)`` (fixed nodes included).
+    temperature_k:
+        Temperature of the solve.
+    converged:
+        Per-instance convergence flags, shape ``(B,)``.
+    sweeps:
+        Per-instance Gauss–Seidel sweep counts (the sweep on which the
+        instance converged, or the last sweep attempted).
+    max_update:
+        Per-instance largest node update of the final active sweep (V).
+    """
+
+    node_index: dict[str, int]
+    voltages: np.ndarray
+    temperature_k: float
+    converged: np.ndarray
+    sweeps: np.ndarray
+    max_update: np.ndarray
+
+    @property
+    def batch(self) -> int:
+        """Return the number of batch instances."""
+        return self.voltages.shape[1]
+
+    @property
+    def all_converged(self) -> bool:
+        """Return True when every instance converged."""
+        return bool(np.all(self.converged))
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Return the solved voltages of ``node`` across the batch, ``(B,)``."""
+        return self.voltages[self.node_index[node]]
+
+    def operating_point(self, index: int) -> OperatingPoint:
+        """Materialize instance ``index`` as a scalar :class:`OperatingPoint`."""
+        return OperatingPoint(
+            voltages={
+                name: float(self.voltages[row, index])
+                for name, row in self.node_index.items()
+            },
+            temperature_k=self.temperature_k,
+            converged=bool(self.converged[index]),
+            sweeps=int(self.sweeps[index]),
+            max_update=float(self.max_update[index]),
+        )
+
+
+class _NodeProblem:
+    """Pre-indexed batched data for one free node's KCL solve."""
+
+    __slots__ = (
+        "name",
+        "row",
+        "terminal_rows",
+        "self_masks",
+        "weights",
+        "packed",
+        "injection",
+    )
+
+    def __init__(self, name, row, terminal_rows, self_masks, weights, packed, injection):
+        self.name = name
+        self.row = row
+        #: (4, A) node-row of each terminal of each attachment.
+        self.terminal_rows = terminal_rows
+        #: (4, A, 1) True where that terminal is this node (gets the trial x).
+        self.self_masks = self_masks
+        #: (4, A, 1) one-hot: which terminal current the attachment contributes.
+        self.weights = weights
+        self.packed = packed
+        #: (B,) injected current per instance.
+        self.injection = injection
+
+    def take_columns(self, columns: np.ndarray) -> "_NodeProblem":
+        """Return a batch-column subset of this problem."""
+        return _NodeProblem(
+            self.name,
+            self.row,
+            self.terminal_rows,
+            self.self_masks,
+            self.weights,
+            self.packed.take_columns(columns),
+            self.injection[columns],
+        )
+
+
+class BatchedDcSolver:
+    """Gauss–Seidel DC solver for a batch of same-topology netlists.
+
+    Parameters
+    ----------
+    netlists:
+        ``B`` netlists sharing one topology (see module docstring).  The
+        first netlist is the structural reference; any structural deviation
+        in the others raises ``ValueError``.
+    temperature_k:
+        Solve temperature, shared by the batch.
+    options:
+        Same options as the scalar solver; ``xtol`` bounds the per-node root
+        accuracy, ``voltage_tol`` the sweep convergence.
+    """
+
+    def __init__(
+        self,
+        netlists: Sequence[TransistorNetlist],
+        temperature_k: float,
+        options: SolverOptions | None = None,
+    ) -> None:
+        if not netlists:
+            raise ValueError("need at least one netlist")
+        if temperature_k <= 0:
+            raise ValueError("temperature_k must be positive")
+        self.netlists = list(netlists)
+        self.temperature_k = float(temperature_k)
+        self.options = options or SolverOptions()
+        self.batch = len(self.netlists)
+
+        reference = self.netlists[0]
+        reference.validate()
+        self._check_topology(reference)
+
+        self.node_names = list(reference.nodes)
+        self.node_index = {name: row for row, name in enumerate(self.node_names)}
+        self._free_rows = [
+            self.node_index[n.name]
+            for n in reference.nodes.values()
+            if n.kind is NodeKind.FREE
+        ]
+
+        # Device grid: slot t, instance b.
+        self.packed = PackedMosfets(
+            [
+                [net.transistors[t].mosfet for net in self.netlists]
+                for t in range(len(reference.transistors))
+            ],
+            self.temperature_k,
+        )
+
+        # Per-transistor terminal rows, used by the post-solve analysis.
+        self._transistor_rows = np.array(
+            [
+                [self.node_index[getattr(t, term)] for t in reference.transistors]
+                for term in _TERMINALS
+            ],
+            dtype=int,
+        )
+        self._owners = [t.owner for t in reference.transistors]
+
+        # Supply-dependent per-instance quantities.
+        self._vdd = np.array([net.vdd for net in self.netlists])
+        self._lo_limit = -self.options.bracket_margin
+        self._hi_limit = self._vdd + self.options.bracket_margin
+        self._mid_rail = 0.5 * self._vdd
+
+        self._problems = self._build_problems(reference)
+        self._cluster_edges = self._build_cluster_edges(reference)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _check_topology(self, reference: TransistorNetlist) -> None:
+        ref_nodes = {
+            name: (node.kind, name) for name, node in reference.nodes.items()
+        }
+        for position, net in enumerate(self.netlists[1:], start=1):
+            if set(net.nodes) != set(ref_nodes):
+                raise ValueError(
+                    f"netlist {position} has different node names than the reference"
+                )
+            for name, node in net.nodes.items():
+                if node.kind is not reference.nodes[name].kind:
+                    raise ValueError(
+                        f"netlist {position}: node {name!r} changed kind"
+                    )
+            if len(net.transistors) != len(reference.transistors):
+                raise ValueError(
+                    f"netlist {position} has a different transistor count"
+                )
+            for t_ref, t_other in zip(reference.transistors, net.transistors):
+                if (
+                    t_ref.gate != t_other.gate
+                    or t_ref.drain != t_other.drain
+                    or t_ref.source != t_other.source
+                    or t_ref.bulk != t_other.bulk
+                    or t_ref.owner != t_other.owner
+                    or t_ref.mosfet.polarity is not t_other.mosfet.polarity
+                ):
+                    raise ValueError(
+                        f"netlist {position}: transistor {t_ref.name!r} differs "
+                        "structurally from the reference"
+                    )
+
+    def _build_problems(self, reference: TransistorNetlist) -> list[_NodeProblem]:
+        attachment_index = reference.attachments()
+        injections = [net.injections() for net in self.netlists]
+        transistor_slot = {t.name: i for i, t in enumerate(reference.transistors)}
+
+        problems: list[_NodeProblem] = []
+        for node in reference.nodes.values():
+            if node.kind is not NodeKind.FREE:
+                continue
+            attachments = attachment_index[node.name]
+            slots = [transistor_slot[t.name] for t, _terminal in attachments]
+            terminal_rows = np.array(
+                [
+                    [
+                        self.node_index[getattr(t, term)]
+                        for t, _terminal in attachments
+                    ]
+                    for term in _TERMINALS
+                ],
+                dtype=int,
+            )
+            row = self.node_index[node.name]
+            self_masks = (terminal_rows == row)[:, :, None]
+            weights = np.array(
+                [
+                    [1.0 if terminal == term else 0.0 for _t, terminal in attachments]
+                    for term in _TERMINALS
+                ]
+            )[:, :, None]
+            injection = np.array(
+                [inj.get(node.name, 0.0) for inj in injections]
+            )
+            problems.append(
+                _NodeProblem(
+                    name=node.name,
+                    row=row,
+                    terminal_rows=terminal_rows,
+                    self_masks=self_masks,
+                    weights=weights,
+                    packed=self.packed.rows(slots),
+                    injection=injection,
+                )
+            )
+        return problems
+
+    def _build_cluster_edges(self, reference: TransistorNetlist):
+        """Return (gate_row, drain_row, source_row, sign) per free-free channel."""
+        free_rows = set(self._free_rows)
+        edges = []
+        for transistor in reference.transistors:
+            drain = self.node_index[transistor.drain]
+            source = self.node_index[transistor.source]
+            if drain not in free_rows or source not in free_rows:
+                continue
+            edges.append(
+                (
+                    self.node_index[transistor.gate],
+                    drain,
+                    source,
+                    transistor.mosfet.device.polarity.sign,
+                )
+            )
+        return edges
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        initial_voltages: Mapping[str, float | np.ndarray]
+        | Sequence[Mapping[str, float]]
+        | None = None,
+    ) -> BatchedOperatingPoint:
+        """Solve the batch and return the per-instance operating points.
+
+        Parameters
+        ----------
+        initial_voltages:
+            Optional initial guesses for free nodes: either one mapping
+            applied to every instance (values may be scalars or ``(B,)``
+            arrays — the warm-start path of the characterizer passes arrays),
+            or a sequence of ``B`` per-instance mappings.  Unlisted free
+            nodes start from their stored netlist voltage.
+        """
+        voltages = self._initial_matrix(initial_voltages)
+        options = self.options
+        batch = self.batch
+
+        converged = np.zeros(batch, dtype=bool)
+        sweeps = np.zeros(batch, dtype=int)
+        max_update = np.full(batch, np.inf)
+        # Columns below tolerance whose slow (cluster common) mode has not
+        # been checked yet: they get a targeted cluster pass next sweep
+        # before convergence counts.  Tracking this per column keeps every
+        # column's trajectory independent of its batch neighbours.
+        pending_final = np.zeros(batch, dtype=bool)
+        has_edges = bool(self._cluster_edges)
+
+        for sweep in range(1, options.max_sweeps + 1):
+            active = np.flatnonzero(~converged)
+            if active.size == 0:
+                break
+            whole = active.size == batch
+            v_active = voltages if whole else voltages[:, active]
+            hi_limit = self._hi_limit if whole else self._hi_limit[active]
+            mid_rail = self._mid_rail if whole else self._mid_rail[active]
+
+            scheduled = (sweep - 1) % options.cluster_interval == 0
+            cluster_mask = (
+                np.full(active.size, scheduled) | pending_final[active]
+            )
+            if has_edges and cluster_mask.any():
+                self._solve_clusters(
+                    v_active, hi_limit, mid_rail, active, cluster_mask
+                )
+            # A sweep's convergence only counts for columns whose state has
+            # seen the cluster pass (mirrors the scalar solver).
+            countable = cluster_mask | (not has_edges)
+            pending_final[active] = False
+
+            update_max = np.zeros(active.size)
+            for problem in self._problems:
+                active_problem = problem if whole else problem.take_columns(active)
+                solved = self._solve_node(active_problem, v_active, hi_limit)
+                update = np.abs(solved - v_active[problem.row])
+                v_active[problem.row] = solved
+                np.maximum(update_max, update, out=update_max)
+
+            if not whole:
+                voltages[:, active] = v_active
+            sweeps[active] = sweep
+            max_update[active] = update_max
+            below = update_max < options.voltage_tol
+            converged[active] = below & countable
+            pending_final[active] = below & ~countable
+
+        return BatchedOperatingPoint(
+            node_index=self.node_index,
+            voltages=voltages,
+            temperature_k=self.temperature_k,
+            converged=converged,
+            sweeps=sweeps,
+            max_update=max_update,
+        )
+
+    # ------------------------------------------------------------------ #
+    # post-solve analysis
+    # ------------------------------------------------------------------ #
+    def leakage_by_owner(
+        self, op: BatchedOperatingPoint
+    ) -> dict[str, BatchedComponentBreakdown]:
+        """Return per-owner leakage components across the batch.
+
+        The batched twin of :func:`repro.spice.analysis.leakage_by_owner`:
+        every transistor of every instance is re-evaluated at the solved
+        voltages in one array pass, then summed per owner tag.
+        """
+        g, d, s, b = (op.voltages[rows] for rows in self._transistor_rows)
+        components = self.packed.component_currents(g, d, s, b)
+
+        owner_rows: dict[str, list[int]] = {}
+        for slot, owner in enumerate(self._owners):
+            owner_rows.setdefault(owner, []).append(slot)
+        return {
+            owner: BatchedComponentBreakdown(
+                subthreshold=components.i_subthreshold[rows].sum(axis=0),
+                gate=components.i_gate[rows].sum(axis=0),
+                btbt=components.i_btbt[rows].sum(axis=0),
+            )
+            for owner, rows in owner_rows.items()
+        }
+
+    def gate_injection_at_node(
+        self,
+        op: BatchedOperatingPoint,
+        node: str,
+        exclude_owners: set[str] | frozenset[str] = frozenset(),
+    ) -> np.ndarray:
+        """Batched :func:`repro.spice.analysis.gate_injection_at_node`, ``(B,)``."""
+        g, d, s, b = (op.voltages[rows] for rows in self._transistor_rows)
+        components = self.packed.component_currents(g, d, s, b)
+        row = self.node_index[node]
+        injection = np.zeros(op.batch)
+        for slot, transistor in enumerate(self.netlists[0].transistors):
+            if self._transistor_rows[0, slot] != row:
+                continue
+            if transistor.owner in exclude_owners:
+                continue
+            injection -= components.ig[slot]
+        return injection
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _initial_matrix(self, initial_voltages) -> np.ndarray:
+        reference = self.netlists[0]
+        base = np.empty((len(self.node_names), self.batch))
+        for row, name in enumerate(self.node_names):
+            base[row] = [net.nodes[name].voltage for net in self.netlists]
+        if initial_voltages is None:
+            return base
+        free = {
+            name
+            for name, node in reference.nodes.items()
+            if node.kind is NodeKind.FREE
+        }
+        if isinstance(initial_voltages, Mapping):
+            guesses: Sequence[Mapping] = [initial_voltages]
+            broadcast = True
+        else:
+            guesses = list(initial_voltages)
+            if len(guesses) != self.batch:
+                raise ValueError(
+                    f"expected {self.batch} initial-voltage mappings, got {len(guesses)}"
+                )
+            broadcast = False
+        for column, mapping in enumerate(guesses):
+            for name, value in mapping.items():
+                if name not in free:
+                    continue
+                row = self.node_index[name]
+                if broadcast:
+                    base[row] = np.asarray(value, dtype=float)
+                else:
+                    base[row, column] = float(value)
+        return base
+
+    def _residual(
+        self, problem: _NodeProblem, voltages: np.ndarray, trial: np.ndarray
+    ) -> np.ndarray:
+        """KCL residual of ``problem`` with its node at ``trial``, ``(B,)``."""
+        rows = problem.terminal_rows
+        masks = problem.self_masks
+        vg = np.where(masks[0], trial, voltages[rows[0]])
+        vd = np.where(masks[1], trial, voltages[rows[1]])
+        vs = np.where(masks[2], trial, voltages[rows[2]])
+        vb = np.where(masks[3], trial, voltages[rows[3]])
+        ig, idr, isr, ib = problem.packed.kcl_currents(vg, vd, vs, vb)
+        weights = problem.weights
+        total = (
+            ig * weights[0] + idr * weights[1] + isr * weights[2] + ib * weights[3]
+        ).sum(axis=0)
+        return total - problem.injection
+
+    def _bracket(
+        self,
+        center: np.ndarray,
+        hi_limit: np.ndarray,
+        residual,
+    ):
+        """Expand per-column windows around ``center`` until the sign changes.
+
+        Mirrors the scalar solver's geometric window expansion; returns the
+        brackets, their residuals, and the mask of columns with no sign
+        change over the whole admissible range (those get pinned).
+        """
+        options = self.options
+        lo_limit = self._lo_limit
+        window = np.full(center.shape, options.initial_window)
+        lo = np.maximum(lo_limit, center - window)
+        hi = np.minimum(hi_limit, center + window)
+        f_lo = residual(lo)
+        f_hi = residual(hi)
+
+        def unresolved(f_lo, f_hi):
+            return (f_lo != 0.0) & (f_hi != 0.0) & (f_lo * f_hi > 0.0)
+
+        pending = unresolved(f_lo, f_hi) & ~((lo <= lo_limit) & (hi >= hi_limit))
+        while pending.any():
+            window = np.where(pending, window * 4.0, window)
+            lo = np.where(pending, np.maximum(lo_limit, center - window), lo)
+            hi = np.where(pending, np.minimum(hi_limit, center + window), hi)
+            f_lo = np.where(pending, residual(lo), f_lo)
+            f_hi = np.where(pending, residual(hi), f_hi)
+            pending = (
+                unresolved(f_lo, f_hi)
+                & ~((lo <= lo_limit) & (hi >= hi_limit))
+            )
+        no_sign_change = unresolved(f_lo, f_hi)
+        return lo, hi, f_lo, f_hi, no_sign_change
+
+    def _solve_node(
+        self,
+        problem: _NodeProblem,
+        voltages: np.ndarray,
+        hi_limit: np.ndarray,
+    ) -> np.ndarray:
+        """Solve one node's KCL across the batch by bracketed root finding."""
+
+        def residual(trial: np.ndarray) -> np.ndarray:
+            return self._residual(problem, voltages, trial)
+
+        center = voltages[problem.row]
+        lo, hi, f_lo, f_hi, pinned = self._bracket(center, hi_limit, residual)
+        # No sign change over the admissible range: pin the node at the
+        # endpoint with the smaller residual magnitude (scalar behaviour).
+        pinned_values = np.where(np.abs(f_lo) <= np.abs(f_hi), lo, hi)
+        return chandrupatla(
+            residual,
+            lo,
+            hi,
+            f_lo=f_lo,
+            f_hi=f_hi,
+            xtol=self.options.xtol,
+            frozen=pinned,
+            frozen_values=pinned_values,
+        )
+
+    # ------------------------------------------------------------------ #
+    # supernode (cluster) acceleration
+    # ------------------------------------------------------------------ #
+    def _solve_clusters(
+        self,
+        voltages: np.ndarray,
+        hi_limit: np.ndarray,
+        mid_rail: np.ndarray,
+        active: np.ndarray,
+        column_mask: np.ndarray,
+    ) -> None:
+        """Shift conducting clusters as supernodes, per column group.
+
+        The conducting criterion is evaluated per instance (gate voltages —
+        and mid-rail itself — differ across the batch), instances are
+        grouped by identical conducting patterns, and each group's clusters
+        are solved with one vectorized root find over the group's columns
+        (a rigid per-column *shift* of the members, like the scalar
+        solver's pass).  ``voltages``, ``hi_limit`` and ``mid_rail`` are the
+        active-column views, ``column_mask`` selects which of them take the
+        pass this sweep, and ``active`` maps active columns back to absolute
+        batch columns (needed to slice the packed device parameters).
+        """
+        if not self._cluster_edges:
+            return
+        columns = np.flatnonzero(column_mask)
+        if columns.size == 0:
+            return
+
+        gate_rows = np.array([e[0] for e in self._cluster_edges])
+        signs = np.array([e[3] for e in self._cluster_edges])[:, None]
+        conducting = (
+            signs * (voltages[gate_rows][:, columns] - mid_rail[columns]) > 0.0
+        )
+
+        problems_by_row = {p.row: p for p in self._problems}
+        patterns, inverse = np.unique(conducting, axis=1, return_inverse=True)
+        for pattern_id in range(patterns.shape[1]):
+            group = columns[np.flatnonzero(inverse == pattern_id)]
+            pattern = patterns[:, pattern_id]
+            clusters = self._clusters_for_pattern(pattern)
+            for members in clusters:
+                self._solve_one_cluster(
+                    voltages, hi_limit, group, active[group], members, problems_by_row
+                )
+
+    def _clusters_for_pattern(self, pattern: np.ndarray) -> list[list[int]]:
+        """Union-find the free-node rows joined by conducting edges."""
+        parent = {row: row for row in self._free_rows}
+
+        def find(row: int) -> int:
+            while parent[row] != row:
+                parent[row] = parent[parent[row]]
+                row = parent[row]
+            return row
+
+        for edge, on in zip(self._cluster_edges, pattern):
+            if not on:
+                continue
+            _gate, drain, source, _sign = edge
+            ra, rb = find(drain), find(source)
+            if ra != rb:
+                parent[ra] = rb
+
+        groups: dict[int, list[int]] = {}
+        for row in self._free_rows:
+            groups.setdefault(find(row), []).append(row)
+        return [members for members in groups.values() if len(members) > 1]
+
+    def _solve_one_cluster(
+        self,
+        voltages: np.ndarray,
+        hi_limit: np.ndarray,
+        group: np.ndarray,
+        group_abs: np.ndarray,
+        members: list[int],
+        problems_by_row: dict[int, _NodeProblem],
+    ) -> None:
+        member_problems = [
+            problems_by_row[row].take_columns(group_abs) for row in members
+        ]
+        member_rows = np.array(members)
+        base = voltages[member_rows][:, group]
+
+        def cluster_residual(delta: np.ndarray) -> np.ndarray:
+            trial = voltages[:, group].copy()
+            trial[member_rows] = base + delta
+            return sum(
+                self._residual(problem, trial, base[m] + delta)
+                for m, problem in enumerate(member_problems)
+            )
+
+        # A rigid shift of the whole cluster; the range keeps every member
+        # inside the admissible voltage band.
+        lo = self._lo_limit - base.min(axis=0)
+        hi = hi_limit[group] - base.max(axis=0)
+        f_lo = cluster_residual(lo)
+        f_hi = cluster_residual(hi)
+        no_sign_change = (f_lo != 0.0) & (f_hi != 0.0) & (f_lo * f_hi > 0.0)
+        if no_sign_change.all():
+            return
+        # Columns without a sign change keep their voltages (scalar solver
+        # skips them): a frozen zero shift makes the write-back a no-op.
+        shift = chandrupatla(
+            cluster_residual,
+            lo,
+            hi,
+            f_lo=f_lo,
+            f_hi=f_hi,
+            xtol=self.options.xtol,
+            frozen=no_sign_change,
+            frozen_values=np.zeros(group.shape),
+        )
+        for m, row in enumerate(members):
+            voltages[row, group] = base[m] + shift

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Largest exponent handed to ``math.exp``; exp(700) is near the float64 max.
 _MAX_EXP_ARG = 60.0
 
@@ -39,6 +41,37 @@ def log1p_exp(x: float) -> float:
     if x < -_MAX_EXP_ARG:
         return math.exp(x)
     return math.log1p(math.exp(x))
+
+
+def safe_exp_np(x: np.ndarray, max_arg: float = _MAX_EXP_ARG) -> np.ndarray:
+    """Vectorized :func:`safe_exp`: elementwise ``exp`` with clipped argument."""
+    # minimum/maximum instead of np.clip: same result, much less call
+    # overhead on the small arrays the solver hot loop works with.
+    return np.exp(np.minimum(np.maximum(x, -max_arg), max_arg))
+
+
+def log1p_exp_np(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`log1p_exp` (softplus) with the same branch structure.
+
+    Matches the scalar helper branch for branch so the batched device models
+    agree with the scalar oracle to rounding error: above ``+_MAX_EXP_ARG``
+    the identity ``log(1+exp(x)) -> x`` is used, below ``-_MAX_EXP_ARG`` the
+    softplus collapses to ``exp(x)`` itself.
+    """
+    x = np.asarray(x, dtype=float)
+    exp_x = np.exp(np.minimum(x, _MAX_EXP_ARG))
+    return np.where(
+        x > _MAX_EXP_ARG,
+        x,
+        np.where(x < -_MAX_EXP_ARG, exp_x, np.log1p(exp_x)),
+    )
+
+
+def smooth_step_np(x: np.ndarray, width: float = 1.0) -> np.ndarray:
+    """Vectorized :func:`smooth_step` (logistic 0-to-1 transition)."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return 1.0 / (1.0 + safe_exp_np(-np.asarray(x, dtype=float) / width))
 
 
 def clamp(value: float, lower: float, upper: float) -> float:

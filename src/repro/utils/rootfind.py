@@ -1,0 +1,171 @@
+"""Vectorized bracketed scalar root finding (Chandrupatla's method).
+
+The batched DC solver replaces SciPy's per-call ``brentq`` with a root finder
+that drives a whole *batch* of independent one-dimensional problems through
+the same iteration: one residual evaluation returns the residuals of every
+batch column at once, so the per-iteration cost is one vectorized function
+call instead of ``B`` scalar ones.
+
+Chandrupatla's algorithm (T.R. Chandrupatla, 1997) is used because it keeps a
+guaranteed bracket like bisection but switches to inverse quadratic
+interpolation whenever the bracket geometry allows, converging superlinearly
+on the smooth, monotone Kirchhoff residuals of the leakage solver — typically
+8-15 evaluations to ~1e-13 V instead of bisection's ~45.
+
+Determinism contract: every per-column update is element-wise and masked, so
+a column's trajectory (and therefore its returned root, bit for bit) depends
+only on its own function values — never on which other columns share the
+batch.  The batched solver relies on this to make chunked/parallel runs
+reproduce serial ones exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def chandrupatla(
+    func: Callable[[np.ndarray], np.ndarray],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    *,
+    f_lo: np.ndarray | None = None,
+    f_hi: np.ndarray | None = None,
+    xtol: float = 1.0e-8,
+    max_iterations: int = 120,
+    frozen: np.ndarray | None = None,
+    frozen_values: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``func(x) == 0`` element-wise inside the brackets ``[lo, hi]``.
+
+    Parameters
+    ----------
+    func:
+        Vectorized residual: maps an ``(B,)`` array of abscissae to an
+        ``(B,)`` array of residuals.  It is always called with the
+        *full-width* array (frozen columns included, at unchanged abscissae),
+        which keeps its signature trivial; the extra arithmetic is the price
+        of the determinism contract.
+    lo / hi:
+        Bracket endpoints per column.  Columns must satisfy
+        ``func(lo) * func(hi) <= 0`` unless they are ``frozen``.
+    f_lo / f_hi:
+        Optional pre-computed residuals at the endpoints (saves two calls).
+    xtol:
+        Absolute abscissa tolerance; iteration stops per column once its
+        bracket is below ``xtol`` (plus a float-precision floor).
+    max_iterations:
+        Safety bound; generous because bisection-rate worst cases need
+        ``log2(range/xtol)`` steps.
+    frozen:
+        Optional boolean mask of columns that already have an answer (for
+        example: no sign change, so the caller pins an endpoint).  Frozen
+        columns are never updated.
+    frozen_values:
+        The answers for frozen columns (required when ``frozen`` is given).
+
+    Returns
+    -------
+    np.ndarray
+        The per-column roots (or ``frozen_values`` where frozen).
+    """
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    if f_lo is None:
+        f_lo = func(lo)
+    if f_hi is None:
+        f_hi = func(hi)
+    f_lo = np.asarray(f_lo, dtype=float)
+    f_hi = np.asarray(f_hi, dtype=float)
+
+    if frozen is None:
+        frozen = np.zeros(lo.shape, dtype=bool)
+    done = frozen.copy()
+    result = np.empty_like(lo)
+    if frozen_values is not None:
+        result[frozen] = frozen_values[frozen]
+    elif frozen.any():
+        raise ValueError("frozen columns need frozen_values")
+
+    # Exact endpoint roots terminate immediately (mirrors the scalar solver).
+    exact_lo = ~done & (f_lo == 0.0)
+    result[exact_lo] = lo[exact_lo]
+    done |= exact_lo
+    exact_hi = ~done & (f_hi == 0.0)
+    result[exact_hi] = hi[exact_hi]
+    done |= exact_hi
+
+    live = ~done
+    if live.any() and np.any(f_lo[live] * f_hi[live] > 0.0):
+        raise ValueError("chandrupatla needs a sign change on every live column")
+
+    # State per column: bracket (a, fa) newest, (b, fb) opposite sign,
+    # (c, fc) previous point; t is the next step as a fraction of (b - a).
+    a, fa = hi.copy(), f_hi.copy()
+    b, fb = lo.copy(), f_lo.copy()
+    c, fc = b.copy(), fb.copy()
+    t = np.full(lo.shape, 0.5)
+    eps = np.finfo(float).eps
+
+    for _ in range(max_iterations):
+        if done.all():
+            break
+        update = ~done
+
+        xt = a + t * (b - a)
+        # Frozen/finished columns re-evaluate at an unchanged abscissa, so
+        # their (ignored) residuals cost arithmetic but never change state.
+        ft = func(np.where(update, xt, a))
+
+        same_side = np.sign(ft) == np.sign(fa)
+        # Where the new point stays on a's side: (a, c) <- (xt, a).
+        # Otherwise the new point crosses: (a, b, c) <- (xt, a, b).
+        c = np.where(update, np.where(same_side, a, b), c)
+        fc = np.where(update, np.where(same_side, fa, fb), fc)
+        b = np.where(update & ~same_side, a, b)
+        fb = np.where(update & ~same_side, fa, fb)
+        a = np.where(update, xt, a)
+        fa = np.where(update, ft, fa)
+
+        # Best current estimate per column.
+        a_best = np.abs(fa) < np.abs(fb)
+        xm = np.where(a_best, a, b)
+
+        tol = 2.0 * eps * np.abs(xm) + 0.5 * xtol
+        spread = np.abs(b - c)
+        spread_safe = np.where(spread > 0.0, spread, 1.0)
+        tlim = tol / spread_safe
+        newly_done = update & ((2.0 * tlim > 1.0) | (fa == 0.0) | (spread == 0.0))
+        result[newly_done] = xm[newly_done]
+        done |= newly_done
+        update &= ~newly_done
+
+        # Inverse quadratic interpolation when the bracket geometry is
+        # favourable (Chandrupatla's criterion), bisection otherwise.
+        denom_cb = np.where(c == b, 1.0, c - b)
+        denom_fcb = np.where(fc == fb, 1.0, fc - fb)
+        xi = (a - b) / denom_cb
+        phi = (fa - fb) / denom_fcb
+        iqi_ok = (phi**2 < xi) & ((1.0 - phi) ** 2 < 1.0 - xi)
+
+        denom_ba = np.where(b == a, 1.0, b - a)
+        denom_fba = np.where(fb == fa, 1.0, fb - fa)
+        denom_fca = np.where(fc == fa, 1.0, fc - fa)
+        denom_fbc = np.where(fb == fc, 1.0, fb - fc)
+        t_iqi = (fa / denom_fba) * (fc / denom_fbc) + (
+            (c - a) / denom_ba
+        ) * (fa / denom_fca) * (fb / denom_fcb)
+        t_new = np.where(iqi_ok, t_iqi, 0.5)
+        t = np.where(
+            update, np.minimum(np.maximum(t_new, tlim), 1.0 - tlim), t
+        )
+
+    # Any column that exhausted the iteration budget returns its best point.
+    leftovers = ~done
+    if leftovers.any():
+        a_best = np.abs(fa) < np.abs(fb)
+        xm = np.where(a_best, a, b)
+        result[leftovers] = xm[leftovers]
+    return result

@@ -14,8 +14,15 @@ For every sample the driver
 3. draws per-transistor intra-die Vth shifts (the shift of a transistor in
    the loaded structure is reused for its counterpart in the unloaded one,
    so the two solves differ only by the presence of loading),
-4. solves both with the reference DC solver and records the leakage
-   components of the inverter under study.
+4. solves both and records the leakage components of the inverter under
+   study.
+
+Two solver engines are available: ``"batched"`` (default) flattens every
+sample and solves all loaded structures as one
+:class:`~repro.spice.batched.BatchedDcSolver` batch (and all unloaded twins
+as a second batch); ``"scalar"`` runs the original one-sample-at-a-time
+reference path.  Both consume identical random streams, so they simulate
+identical parameter draws and differ only at the solver-tolerance level.
 
 The resulting paired samples are exactly what Fig. 10 histograms ("No
 Loading" vs "with Loading") and Fig. 11 statistics (loading-induced change of
@@ -25,6 +32,7 @@ the mean and standard deviation) are computed from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -32,6 +40,7 @@ from repro.circuit.flatten import flatten
 from repro.circuit.generators import loaded_inverter_cluster
 from repro.device.params import TechnologyParams
 from repro.spice.analysis import ComponentBreakdown, leakage_by_owner
+from repro.spice.batched import BatchedDcSolver
 from repro.spice.solver import DcSolver, SolverOptions
 from repro.utils.rng import RngLike, spawn_streams
 from repro.variation.spec import (
@@ -123,6 +132,34 @@ class SampleTask:
     solver_options: SolverOptions
 
 
+def _draw_sample_parameters(
+    task: SampleTask,
+    rng: np.random.Generator,
+    loaded_flat_names: list[str],
+) -> tuple[TechnologyParams, dict[str, float]]:
+    """Draw one sample's shifted technology and intra-die Vth shifts.
+
+    Shared by the scalar and batched engines so both consume a stream in
+    exactly the same order (inter-die draws first, then one intra-die shift
+    per transistor of the loaded structure).
+    """
+    inter = sample_inter_die(task.spec, rng)
+    shifted = apply_inter_die(task.technology, inter)
+    # The unloaded twin shares the shifts of its two gates (driver and 'g')
+    # so that the only difference between the two solves is the loading.
+    shifts = sample_intra_die_vth(task.spec, rng, len(loaded_flat_names))
+    return shifted, dict(zip(loaded_flat_names, shifts))
+
+
+def _loaded_flat_names(loaded_circuit) -> list[str]:
+    """Return the flattened transistor names of the loaded structure."""
+    return [
+        f"{gate}.{suffix}"
+        for gate in loaded_circuit.gates
+        for suffix in ("mn1", "mp2")
+    ]
+
+
 def simulate_sample(task: SampleTask, rng: np.random.Generator) -> MonteCarloSample:
     """Run one Monte-Carlo sample, drawing everything from ``rng``.
 
@@ -135,19 +172,9 @@ def simulate_sample(task: SampleTask, rng: np.random.Generator) -> MonteCarloSam
     # The driver input is the complement of the studied inverter's input.
     assignment = {"in": 1 - task.input_value}
 
-    inter = sample_inter_die(task.spec, rng)
-    shifted = apply_inter_die(task.technology, inter)
-
-    # Draw intra-die Vth shifts for the loaded structure; the unloaded twin
-    # shares the shifts of its two gates (driver and 'g') so that the only
-    # difference between the two solves is the loading.
-    loaded_flat_names = [
-        f"{gate}.{suffix}"
-        for gate in loaded_circuit.gates
-        for suffix in ("mn1", "mp2")
-    ]
-    shifts = sample_intra_die_vth(task.spec, rng, len(loaded_flat_names))
-    intra = dict(zip(loaded_flat_names, shifts))
+    shifted, intra = _draw_sample_parameters(
+        task, rng, _loaded_flat_names(loaded_circuit)
+    )
 
     with_loading = _solve_target_leakage(
         loaded_circuit, shifted, assignment, intra, task.temperature_k,
@@ -162,9 +189,70 @@ def simulate_sample(task: SampleTask, rng: np.random.Generator) -> MonteCarloSam
     )
 
 
+def simulate_batch(
+    task: SampleTask, streams: Sequence[np.random.Generator]
+) -> list[MonteCarloSample]:
+    """Run one Monte-Carlo sample per stream, solving them as two batches.
+
+    Stream ``i`` is consumed exactly like :func:`simulate_sample` would, so
+    the parameter draws are bitwise-identical to the scalar engine's; the
+    flattened loaded structures of *all* samples then solve as one
+    :class:`~repro.spice.batched.BatchedDcSolver` batch (the unloaded twins
+    as a second one).  Because every per-column update of the batched solver
+    is independent of the other columns, the result is also bitwise-identical
+    however the streams are chunked — which is what lets
+    :class:`repro.engine.parallel.ParallelMonteCarlo` distribute contiguous
+    batches across workers without changing the answer.
+    """
+    loaded_circuit = loaded_inverter_cluster(task.input_loads, task.output_loads)
+    unloaded_circuit = loaded_inverter_cluster(0, 0, name="unloaded_inverter")
+    assignment = {"in": 1 - task.input_value}
+    names = _loaded_flat_names(loaded_circuit)
+
+    loaded_flat, unloaded_flat = [], []
+    for rng in streams:
+        shifted, intra = _draw_sample_parameters(task, rng, names)
+        for circuit, flats in (
+            (loaded_circuit, loaded_flat),
+            (unloaded_circuit, unloaded_flat),
+        ):
+            flattened = flatten(circuit, shifted, assignment)
+            for transistor in flattened.netlist.transistors:
+                shift = intra.get(transistor.name)
+                if shift is not None:
+                    transistor.mosfet.vth_shift = shift
+            flats.append(flattened)
+
+    def solve_batch(flats):
+        solver = BatchedDcSolver(
+            [f.netlist for f in flats], task.temperature_k, task.solver_options
+        )
+        op = solver.solve(
+            initial_voltages=[f.initial_voltages() for f in flats]
+        )
+        return solver.leakage_by_owner(op)[_TARGET_GATE]
+
+    loaded_leakage = solve_batch(loaded_flat)
+    unloaded_leakage = solve_batch(unloaded_flat)
+    return [
+        MonteCarloSample(
+            with_loading=loaded_leakage.at(index),
+            without_loading=unloaded_leakage.at(index),
+        )
+        for index in range(len(loaded_flat))
+    ]
+
+
 def _simulate_sample_star(args: tuple[SampleTask, np.random.Generator]) -> MonteCarloSample:
     """Process-pool adapter: unpack the (task, stream) pair."""
     return simulate_sample(*args)
+
+
+def _simulate_batch_star(
+    args: tuple[SampleTask, Sequence[np.random.Generator]]
+) -> list[MonteCarloSample]:
+    """Process-pool adapter: unpack the (task, stream-chunk) pair."""
+    return simulate_batch(*args)
 
 
 def build_sample_task(
@@ -204,6 +292,7 @@ def run_loaded_inverter_monte_carlo(
     output_loads: int = 6,
     temperature_k: float | None = None,
     solver_options: SolverOptions | None = None,
+    engine: str = "batched",
 ) -> MonteCarloResult:
     """Run the Fig. 10 Monte-Carlo study and return the paired samples.
 
@@ -223,13 +312,19 @@ def run_loaded_inverter_monte_carlo(
     input_loads / output_loads:
         Number of inverters loading the input and output nets (6 and 6 in
         Fig. 10).
+    engine:
+        ``"batched"`` (default) solves all samples as two batched DC solves;
+        ``"scalar"`` runs the original per-sample reference path.
 
     Each sample draws from its own ``SeedSequence.spawn``-derived stream
     (sample ``i`` uses stream ``i``), so the result is bitwise-identical to
-    :class:`repro.engine.parallel.ParallelMonteCarlo` for the same seed.
+    :class:`repro.engine.parallel.ParallelMonteCarlo` for the same seed and
+    engine.
     """
     if samples < 1:
         raise ValueError("samples must be at least 1")
+    if engine not in ("batched", "scalar"):
+        raise ValueError(f"unknown Monte-Carlo engine {engine!r}")
     task = build_sample_task(
         technology,
         spec=spec,
@@ -245,6 +340,10 @@ def run_loaded_inverter_monte_carlo(
         input_loads=input_loads,
         output_loads=output_loads,
     )
-    for stream in spawn_streams(rng, samples):
-        result.samples.append(simulate_sample(task, stream))
+    streams = spawn_streams(rng, samples)
+    if engine == "batched":
+        result.samples.extend(simulate_batch(task, streams))
+    else:
+        for stream in streams:
+            result.samples.append(simulate_sample(task, stream))
     return result

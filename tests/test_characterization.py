@@ -1,5 +1,7 @@
 """Tests for gate leakage characterization and the characterized library."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -118,22 +120,61 @@ class TestCharacterizationRecords:
             library25.pin_injection(GateType.INV, (1,), "b")
 
 
+def _example_curve():
+    return ResponseCurve(
+        pin="a",
+        injections=np.array([-1.0e-6, 0.0, 1.0e-6]),
+        subthreshold=np.array([1.0e-9, 2.0e-9, 4.0e-9]),
+        gate=np.array([3.0e-9, 3.0e-9, 3.0e-9]),
+        btbt=np.array([1.0e-9, 1.0e-9, 1.0e-9]),
+    )
+
+
 class TestResponseCurve:
     def test_interpolation_and_extrapolation(self):
-        curve = ResponseCurve(
-            pin="a",
-            injections=np.array([-1.0e-6, 0.0, 1.0e-6]),
-            subthreshold=np.array([1.0e-9, 2.0e-9, 4.0e-9]),
-            gate=np.array([3.0e-9, 3.0e-9, 3.0e-9]),
-            btbt=np.array([1.0e-9, 1.0e-9, 1.0e-9]),
-        )
+        curve = _example_curve()
         mid = curve.breakdown_at(0.5e-6)
         assert mid.subthreshold == pytest.approx(3.0e-9)
-        clamped = curve.breakdown_at(10e-6)
+        clamped = curve.breakdown_at(10e-6, policy="clamp")
         assert clamped.subthreshold == pytest.approx(4.0e-9)
         delta = curve.delta_at(1.0e-6, ComponentBreakdown(2.0e-9, 3.0e-9, 1.0e-9))
         assert delta.subthreshold == pytest.approx(2.0e-9)
         assert curve.max_injection == pytest.approx(1.0e-6)
+
+    def test_out_of_range_warns_once_and_still_clamps(self):
+        from repro.gates.lut import (
+            ResponseCurveRangeWarning,
+            set_extrapolation_policy,
+        )
+
+        previous = set_extrapolation_policy("warn")
+        try:
+            curve = _example_curve()
+            with pytest.warns(ResponseCurveRangeWarning, match="outside"):
+                clamped = curve.breakdown_at(10e-6)
+            assert clamped.subthreshold == pytest.approx(4.0e-9)
+            # Warn-once: the same (pin, direction) stays quiet afterwards.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                curve.breakdown_at(11e-6)
+            # The other direction warns independently.
+            with pytest.warns(ResponseCurveRangeWarning):
+                curve.breakdown_at(-10e-6)
+        finally:
+            set_extrapolation_policy(previous)
+
+    def test_out_of_range_raise_policy(self):
+        curve = _example_curve()
+        with pytest.raises(ValueError, match="outside"):
+            curve.breakdown_at(10e-6, policy="raise")
+        with pytest.raises(ValueError, match="policy"):
+            curve.breakdown_at(0.0, policy="bogus")
+
+    def test_set_extrapolation_policy_validates(self):
+        from repro.gates.lut import set_extrapolation_policy
+
+        with pytest.raises(ValueError, match="policy"):
+            set_extrapolation_policy("bogus")
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -168,7 +209,8 @@ class TestPersistence:
         written = save_library(library25, path)
         assert written >= 1
 
-        fresh = GateLibrary(bulk25)
+        # A strict load requires identical characterization settings.
+        fresh = GateLibrary(bulk25, options=library25.characterizer.options)
         loaded = load_library(fresh, path)
         assert loaded == written
         assert fresh.nominal_leakage(GateType.INV, (0,)).total == pytest.approx(
@@ -183,3 +225,45 @@ class TestPersistence:
         with pytest.raises(ValueError, match="does not match"):
             load_library(other, path)
         assert load_library(other, path, strict=False) >= 1
+
+    def test_mismatched_options_rejected(self, bulk25, library25, tmp_path):
+        """Same technology but different characterization options must be
+        refused: the records were characterized under different settings."""
+        library25.characterization(GateType.INV, (0,))
+        path = tmp_path / "cache.json"
+        save_library(library25, path)
+        other_grid = GateLibrary(
+            bulk25,
+            options=CharacterizationOptions(
+                injection_grid=(-1.0e-6, 0.0, 1.0e-6)
+            ),
+        )
+        with pytest.raises(ValueError, match="options"):
+            load_library(other_grid, path)
+
+    def test_mismatched_solver_tolerances_rejected(self, bulk25, library25, tmp_path):
+        from repro.spice.solver import SolverOptions
+
+        library25.characterization(GateType.INV, (0,))
+        path = tmp_path / "cache.json"
+        save_library(library25, path)
+        options = CharacterizationOptions(
+            injection_grid=library25.characterizer.options.injection_grid,
+            solver=SolverOptions(voltage_tol=1.0e-7),
+        )
+        with pytest.raises(ValueError, match="options"):
+            load_library(GateLibrary(bulk25, options=options), path)
+
+    def test_old_format_version_rejected(self, bulk25, library25, tmp_path):
+        import json
+
+        library25.characterization(GateType.INV, (0,))
+        path = tmp_path / "cache.json"
+        save_library(library25, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_library(
+                GateLibrary(bulk25, options=library25.characterizer.options), path
+            )

@@ -39,6 +39,32 @@ def _assert_campaigns_match(batched, scalar, rtol=1e-12):
         np.testing.assert_allclose(observed, expected, rtol=rtol, atol=0.0)
 
 
+class TestEngineOutOfRangePolicy:
+    def test_engine_applies_extrapolation_policy(self, library25):
+        """The batched LUT path must honour the same out-of-range policy as
+        ResponseCurve.breakdown_at: a fanout large enough to push a net's
+        loading outside the characterized grid warns (or raises)."""
+        from repro.gates.lut import (
+            ResponseCurveRangeWarning,
+            set_extrapolation_policy,
+        )
+
+        circuit = loaded_inverter_cluster(0, 14)
+        compiled = compile_circuit(circuit, library25)
+        assignments = [{"in": 0}, {"in": 1}]
+        previous = set_extrapolation_policy("warn")
+        try:
+            with pytest.warns(ResponseCurveRangeWarning, match="gate type"):
+                run_compiled(compiled, assignments)
+            set_extrapolation_policy("raise")
+            with pytest.raises(ValueError, match="outside"):
+                run_compiled(compiled, assignments)
+            set_extrapolation_policy("clamp")
+            run_compiled(compiled, assignments)  # silent again
+        finally:
+            set_extrapolation_policy(previous)
+
+
 class TestBatchedCampaignMatchesScalar:
     @pytest.mark.parametrize("name,scale", [("s838", 0.1), ("s1196", 0.08)])
     def test_iscas_like_totals_pin_to_scalar(self, library_d25s, name, scale):
