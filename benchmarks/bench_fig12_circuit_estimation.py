@@ -9,7 +9,9 @@ the harness interactive:
 * ``VECTORS`` random vectors feed the loading-impact statistics (the paper
   uses 100),
 * the transistor-level reference validation runs on ``REFERENCE_VECTORS``
-  vector(s) of the circuits below ``REFERENCE_MAX_GATES`` gates.
+  vectors of the circuits below ``REFERENCE_MAX_GATES`` gates, through the
+  batched reference path (panel (a) default; the scalar oracle remains
+  reachable via ``reference_engine="scalar"``).
 
 EXPERIMENTS.md records the exact configuration behind every quoted number and
 how to run the full-size campaign.
@@ -21,7 +23,7 @@ from repro.experiments.fig12 import run_fig12_circuit_estimation
 
 SCALE = 0.12
 VECTORS = 20
-REFERENCE_VECTORS = 1
+REFERENCE_VECTORS = 8
 REFERENCE_MAX_GATES = 350
 
 

@@ -7,6 +7,13 @@ of every gate in one :class:`~repro.spice.netlist.TransistorNetlist`, with
 * every other net free (solved), seeded with the rail implied by its logic
   value so the DC solver starts near the answer.
 
+A circuit flattens to *one* transistor topology: different input vectors only
+change the fixed primary-input rails and the free-node seeds.
+:func:`flatten_batch` exploits that — it builds the shared netlist once and
+derives per-vector fixed-voltage and seed *arrays*, which is exactly the
+same-topology contract :class:`~repro.spice.batched.BatchedDcSolver` solves
+in one vectorized pass.
+
 Keeping the expansion separate from the solver lets tests inspect the
 flattened structure (transistor counts, node sharing) independently of any
 numerical behaviour.
@@ -16,11 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.circuit.logic import propagate
 from repro.circuit.netlist import Circuit
 from repro.device.params import TechnologyParams
 from repro.gates.templates import build_gate_transistors
-from repro.spice.netlist import TransistorNetlist
+from repro.spice.netlist import Node, TransistorNetlist
 
 
 @dataclass
@@ -75,6 +84,26 @@ class FlattenedCircuit:
         return guesses
 
 
+def _build_netlist(
+    circuit: Circuit,
+    technology: TechnologyParams,
+    pi_voltages: dict[str, float],
+) -> tuple[TransistorNetlist, dict[str, list[str]]]:
+    """Expand ``circuit`` into transistors with the given primary-input rails."""
+    netlist = TransistorNetlist(vdd=technology.vdd)
+    for net in circuit.primary_inputs:
+        netlist.add_node(net, fixed_voltage=pi_voltages[net])
+
+    internal_nodes: dict[str, list[str]] = {}
+    for gate in circuit.gates.values():
+        pins = {pin: net for pin, net in zip(gate.spec.inputs, gate.inputs)}
+        pins[gate.spec.output] = gate.output
+        internal_nodes[gate.name] = build_gate_transistors(
+            netlist, technology, gate.gate_type, gate.name, pins, owner=gate.name
+        )
+    return netlist, internal_nodes
+
+
 def flatten(
     circuit: Circuit,
     technology: TechnologyParams,
@@ -87,23 +116,150 @@ def flatten(
     """
     circuit.validate()
     net_values = propagate(circuit, input_assignment)
-
-    netlist = TransistorNetlist(vdd=technology.vdd)
-    for net in circuit.primary_inputs:
-        netlist.add_node(net, fixed_voltage=technology.vdd * net_values[net])
-
-    internal_nodes: dict[str, list[str]] = {}
-    for gate in circuit.gates.values():
-        pins = {pin: net for pin, net in zip(gate.spec.inputs, gate.inputs)}
-        pins[gate.spec.output] = gate.output
-        internal_nodes[gate.name] = build_gate_transistors(
-            netlist, technology, gate.gate_type, gate.name, pins, owner=gate.name
-        )
-
+    netlist, internal_nodes = _build_netlist(
+        circuit,
+        technology,
+        {net: technology.vdd * net_values[net] for net in circuit.primary_inputs},
+    )
     return FlattenedCircuit(
         circuit=circuit,
         netlist=netlist,
         net_values=net_values,
         input_assignment=dict(input_assignment),
         internal_nodes=internal_nodes,
+    )
+
+
+@dataclass
+class BatchedFlattenedCircuit:
+    """A circuit flattened once, instantiated for ``B`` input assignments.
+
+    The transistor topology of a circuit does not depend on the applied
+    vector, so a batch shares one :class:`TransistorNetlist` (one set of
+    transistor instances and :class:`~repro.device.mosfet.Mosfet` objects);
+    only the fixed primary-input rails and the free-node seeds vary, and they
+    are carried as ``(B,)`` arrays.
+
+    Attributes
+    ----------
+    circuit:
+        The source gate-level circuit.
+    netlist:
+        The shared transistor-level netlist (primary inputs fixed at the
+        rails of the *first* assignment; per-vector rails live in
+        ``fixed_voltages``).
+    assignments:
+        The primary-input assignments, in batch order.
+    net_values:
+        Per assignment, the logic value of every net.
+    internal_nodes:
+        Per gate, the instance-internal node names of its template.
+    fixed_voltages:
+        Per primary-input net, the ``(B,)`` rail voltages implied by the
+        assignments.
+    """
+
+    circuit: Circuit
+    netlist: TransistorNetlist
+    assignments: list[dict[str, int]]
+    net_values: list[dict[str, int]]
+    internal_nodes: dict[str, list[str]]
+    fixed_voltages: dict[str, np.ndarray]
+
+    @property
+    def batch(self) -> int:
+        """Return the number of batch instances (input assignments)."""
+        return len(self.assignments)
+
+    @property
+    def transistor_count(self) -> int:
+        """Return the number of transistor instances of the shared topology."""
+        return len(self.netlist.transistors)
+
+    def initial_voltages(self) -> dict[str, np.ndarray]:
+        """Return per-vector rail-based initial guesses as ``(B,)`` arrays.
+
+        Column ``b`` equals what :meth:`FlattenedCircuit.initial_voltages`
+        returns for ``assignments[b]``, so the batched solve starts every
+        instance exactly where the scalar reference solve would.
+        """
+        vdd = self.netlist.vdd
+        guesses: dict[str, np.ndarray] = {}
+        for net in self.net_values[0]:
+            if self.circuit.is_primary_input(net):
+                continue
+            guesses[net] = vdd * np.array(
+                [values[net] for values in self.net_values], dtype=float
+            )
+        for gate_name, nodes in self.internal_nodes.items():
+            output = self.circuit.gates[gate_name].output
+            seed = vdd * np.array(
+                [values[output] for values in self.net_values], dtype=float
+            )
+            for node in nodes:
+                guesses[node] = seed
+        return guesses
+
+    def netlist_views(self) -> list[TransistorNetlist]:
+        """Return ``B`` per-vector views of the shared netlist.
+
+        Each view owns fresh :class:`Node` objects (so its primary-input
+        rails can differ) but shares the transistor instance list — and
+        therefore the device models — with every other view, which is what
+        lets :class:`~repro.spice.batched.BatchedDcSolver` pack the device
+        parameters once instead of ``B`` times.
+        """
+        views: list[TransistorNetlist] = []
+        for b in range(self.batch):
+            view = TransistorNetlist(vdd=self.netlist.vdd)
+            view.nodes = {
+                name: Node(
+                    name=name,
+                    kind=node.kind,
+                    voltage=(
+                        float(self.fixed_voltages[name][b])
+                        if name in self.fixed_voltages
+                        else node.voltage
+                    ),
+                )
+                for name, node in self.netlist.nodes.items()
+            }
+            view.transistors = self.netlist.transistors
+            views.append(view)
+        return views
+
+
+def flatten_batch(
+    circuit: Circuit,
+    technology: TechnologyParams,
+    assignments: list[dict[str, int]],
+) -> BatchedFlattenedCircuit:
+    """Flatten ``circuit`` once for a whole batch of input assignments.
+
+    The shared topology is built a single time; per-assignment logic values
+    are propagated to derive the fixed-voltage and seed arrays.  Each column
+    of the result is equivalent to ``flatten(circuit, technology,
+    assignments[b])``, without rebuilding transistors per vector.
+    """
+    if not assignments:
+        raise ValueError("flatten_batch needs at least one input assignment")
+    circuit.validate()
+    net_values = [propagate(circuit, assignment) for assignment in assignments]
+    netlist, internal_nodes = _build_netlist(
+        circuit,
+        technology,
+        {net: technology.vdd * net_values[0][net] for net in circuit.primary_inputs},
+    )
+    fixed_voltages = {
+        net: technology.vdd
+        * np.array([values[net] for values in net_values], dtype=float)
+        for net in circuit.primary_inputs
+    }
+    return BatchedFlattenedCircuit(
+        circuit=circuit,
+        netlist=netlist,
+        assignments=[dict(assignment) for assignment in assignments],
+        net_values=net_values,
+        internal_nodes=internal_nodes,
+        fixed_voltages=fixed_voltages,
     )

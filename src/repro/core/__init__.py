@@ -9,7 +9,7 @@
 * :mod:`repro.core.baseline` — the traditional no-loading accumulation the
   paper compares against;
 * :mod:`repro.core.reference` — the full transistor-level reference solve
-  (the "SPICE" column of Fig. 12a);
+  (the "SPICE" column of Fig. 12a), scalar oracle and batched campaign path;
 * :mod:`repro.core.report` — result containers;
 * :mod:`repro.core.vectors` — random-vector campaigns, loading-impact
   statistics (Fig. 12b/c) and minimum-leakage-vector search.
@@ -19,7 +19,7 @@ from repro.core.loading import LoadingAnalyzer, LoadingEffect
 from repro.core.report import CircuitLeakageReport, GateLeakage
 from repro.core.estimator import LoadingAwareEstimator
 from repro.core.baseline import NoLoadingEstimator
-from repro.core.reference import ReferenceSimulator
+from repro.core.reference import ReferenceSimulator, run_reference_campaign
 from repro.core.vectors import (
     VectorCampaignResult,
     loading_impact_statistics,
@@ -38,5 +38,6 @@ __all__ = [
     "VectorCampaignResult",
     "loading_impact_statistics",
     "minimum_leakage_vector",
+    "run_reference_campaign",
     "run_vector_campaign",
 ]

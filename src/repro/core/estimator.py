@@ -67,6 +67,7 @@ class LoadingAwareEstimator:
 
         pin_injections = self._pin_injections(circuit, vectors)
         net_injection = self._net_injections(circuit, pin_injections)
+        own_injection = self._own_net_injections(circuit, pin_injections)
 
         per_gate: dict[str, GateLeakage] = {}
         for name in order:
@@ -79,7 +80,12 @@ class LoadingAwareEstimator:
                 for pin, net in zip(gate.spec.inputs, gate.inputs):
                     if circuit.is_primary_input(net):
                         continue
-                    others = net_injection.get(net, 0.0) - pin_injections[(name, pin)]
+                    # "Everyone else's" injection on this pin's net: subtract
+                    # *all* of this gate's own receiver pins on the net, not
+                    # just the current pin — with two pins tied to one net,
+                    # subtracting only the current pin fed the gate's other
+                    # pin back onto itself as phantom loading.
+                    others = net_injection.get(net, 0.0) - own_injection[(name, net)]
                     if others != 0.0:
                         loading[pin] = others
                         input_total += others
@@ -133,4 +139,20 @@ class LoadingAwareEstimator:
         for (name, pin), value in pin_injections.items():
             net = circuit.gates[name].input_net(pin)
             totals[net] = totals.get(net, 0.0) + value
+        return totals
+
+    def _own_net_injections(
+        self, circuit: Circuit, pin_injections: dict[tuple[str, str], float]
+    ) -> dict[tuple[str, str], float]:
+        """Return, per (gate, net), the summed injection of that gate's pins.
+
+        For untied inputs this equals the single pin's injection; for a gate
+        with several pins on one net it is their sum, which is what the
+        loading computation must subtract so a gate never loads itself.
+        """
+        totals: dict[tuple[str, str], float] = {}
+        for (name, pin), value in pin_injections.items():
+            net = circuit.gates[name].input_net(pin)
+            key = (name, net)
+            totals[key] = totals.get(key, 0.0) + value
         return totals

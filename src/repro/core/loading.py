@@ -60,16 +60,37 @@ class LoadingEffect:
 
 
 def _percent(loaded: ComponentBreakdown, nominal: ComponentBreakdown) -> LoadingEffect:
-    def pct(a: float, b: float) -> float:
+    """Return the per-component percent change of ``loaded`` vs ``nominal``.
+
+    A zero nominal component has no defined percent change.  Two cases are
+    distinguished instead of silently returning 0 % (which used to map
+    inf/NaN-producing inputs to a fake "no effect" that propagated into the
+    Fig. 5-7 tables):
+
+    * both zero — the component does not exist in this configuration (e.g.
+      disabled via its ``TechnologyParams`` scale); its loading effect is
+      reported as exactly ``0.0``;
+    * nonzero over zero — loading conjured a component out of nothing, the
+      percent change is genuinely undefined; raise, naming the component.
+    """
+
+    def pct(name: str, a: float, b: float) -> float:
         if b == 0.0:
-            return 0.0
+            if a == 0.0:
+                return 0.0
+            raise ValueError(
+                f"loading effect of component {name!r} is undefined: the "
+                f"nominal value is 0 A but the loaded value is {a:.3e} A "
+                "(is the component disabled in TechnologyParams while the "
+                "loaded solve still produces it?)"
+            )
         return 100.0 * (a - b) / b
 
     return LoadingEffect(
-        subthreshold=pct(loaded.subthreshold, nominal.subthreshold),
-        gate=pct(loaded.gate, nominal.gate),
-        btbt=pct(loaded.btbt, nominal.btbt),
-        total=pct(loaded.total, nominal.total),
+        subthreshold=pct("subthreshold", loaded.subthreshold, nominal.subthreshold),
+        gate=pct("gate", loaded.gate, nominal.gate),
+        btbt=pct("btbt", loaded.btbt, nominal.btbt),
+        total=pct("total", loaded.total, nominal.total),
     )
 
 

@@ -9,19 +9,66 @@ components.  Because every net — including the nets *between* gates — is
 solved against all attached transistors, the result contains the full loading
 effect with no one-level approximation; the estimator's accuracy is measured
 against it (Fig. 12a).
+
+Two solve paths exist.  :meth:`ReferenceSimulator.estimate` is the original
+scalar path — one :class:`~repro.spice.solver.DcSolver` relaxation per input
+vector — retained as the oracle.  :meth:`ReferenceSimulator.estimate_batch`
+rides the batched SPICE layer: the circuit flattens *once*
+(:func:`repro.circuit.flatten.flatten_batch`) and all vectors of a chunk
+solve together as one :class:`~repro.spice.batched.BatchedDcSolver` batch,
+which is what makes full-suite, many-vector reference validation campaigns
+(:func:`run_reference_campaign`) feasible.  Chunks are memory-bounded and —
+because every per-column update of the batched solver is independent of its
+batch neighbours — the results are bitwise independent of how the vector set
+is chunked.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Iterable
 
-from repro.circuit.flatten import flatten
-from repro.circuit.logic import propagate
-from repro.circuit.netlist import Circuit
+from repro.circuit.flatten import flatten, flatten_batch
+from repro.circuit.logic import propagate, random_vectors
+from repro.circuit.netlist import Circuit, Gate
 from repro.core.report import CircuitLeakageReport, GateLeakage
+from repro.core.vectors import VectorCampaignResult
 from repro.device.params import TechnologyParams
 from repro.spice.analysis import leakage_by_owner
+from repro.spice.batched import BatchedDcSolver
 from repro.spice.solver import DcSolver, SolverOptions
+from repro.utils.rng import RngLike
+
+#: Default vector-chunk size of the batched reference path.  Peak memory per
+#: chunk scales with (netlist nodes x chunk), so the default keeps even the
+#: largest suite circuits within tens of megabytes while still amortizing the
+#: vectorized per-node root finds over a wide batch.
+DEFAULT_REFERENCE_CHUNK_SIZE = 64
+
+#: Engine modes accepted by the reference campaign entry points.
+REFERENCE_ENGINES = ("batched", "scalar")
+
+
+def _missing_owner_error(gate: Gate, owners_present: Iterable[str]) -> RuntimeError:
+    """Build the diagnostic for a gate with no aggregated leakage.
+
+    This happens when none of the flattened transistors carry the gate's
+    name as owner tag — i.e. a miswired or misregistered transistor template
+    filed the devices under another owner.  The message names the gate, its
+    template, and the owners that *are* present so the offending template is
+    identifiable without a debugger.
+    """
+    owners = sorted(owner for owner in owners_present if owner)
+    shown = ", ".join(repr(owner) for owner in owners[:10]) or "<none>"
+    if len(owners) > 10:
+        shown += f", ... ({len(owners) - 10} more)"
+    return RuntimeError(
+        f"no leakage aggregated for gate {gate.name!r} (template "
+        f"{gate.gate_type.value!r}): none of the flattened transistors carry "
+        f"owner tag {gate.name!r}.  Owners present: {shown}.  This indicates "
+        "a transistor template that registered its devices under a different "
+        "owner."
+    )
 
 
 class ReferenceSimulator:
@@ -41,6 +88,9 @@ class ReferenceSimulator:
         )
         self.solver_options = solver_options or SolverOptions()
 
+    # ------------------------------------------------------------------ #
+    # scalar oracle path
+    # ------------------------------------------------------------------ #
     def estimate(
         self, circuit: Circuit, input_assignment: dict[str, int]
     ) -> CircuitLeakageReport:
@@ -56,7 +106,7 @@ class ReferenceSimulator:
         for name, gate in circuit.gates.items():
             breakdown = per_owner.get(name)
             if breakdown is None:
-                raise RuntimeError(f"no leakage aggregated for gate {name!r}")
+                raise _missing_owner_error(gate, per_owner)
             per_gate[name] = GateLeakage(
                 gate_name=name,
                 gate_type_name=gate.gate_type.value,
@@ -78,5 +128,149 @@ class ReferenceSimulator:
                 "transistors": flattened.transistor_count,
                 "solver_sweeps": op.sweeps,
                 "solver_converged": op.converged,
+                "engine": "scalar",
             },
         )
+
+    # ------------------------------------------------------------------ #
+    # batched path
+    # ------------------------------------------------------------------ #
+    def estimate_batch(
+        self,
+        circuit: Circuit,
+        assignments: Iterable[dict[str, int]],
+        chunk_size: int = DEFAULT_REFERENCE_CHUNK_SIZE,
+    ) -> list[CircuitLeakageReport]:
+        """Return one reference report per assignment, solved in batches.
+
+        The circuit flattens once per chunk into a shared transistor
+        topology (:func:`flatten_batch`); all vectors of the chunk solve as
+        one :class:`BatchedDcSolver` batch and the per-owner leakage of the
+        whole chunk is aggregated in one array pass.  Because every
+        per-column solver update is independent of its batch neighbours,
+        the reports are bitwise identical whatever ``chunk_size`` splits the
+        assignment list — only peak memory changes.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        assignments = list(assignments)
+        reports: list[CircuitLeakageReport] = []
+        for lo in range(0, len(assignments), chunk_size):
+            reports.extend(
+                self._estimate_chunk(circuit, assignments[lo : lo + chunk_size])
+            )
+        return reports
+
+    def _estimate_chunk(
+        self, circuit: Circuit, assignments: list[dict[str, int]]
+    ) -> list[CircuitLeakageReport]:
+        """Solve one memory-bounded chunk of assignments as a single batch."""
+        start = time.perf_counter()
+        flattened = flatten_batch(circuit, self.technology, assignments)
+        solver = BatchedDcSolver(
+            flattened.netlist_views(), self.temperature_k, self.solver_options
+        )
+        op = solver.solve(initial_voltages=flattened.initial_voltages())
+        per_owner = solver.leakage_by_owner(op)
+
+        batch = flattened.batch
+        elapsed = time.perf_counter() - start
+        per_vector = elapsed / batch
+
+        gates = list(circuit.gates.values())
+        breakdowns = []
+        for gate in gates:
+            batched = per_owner.get(gate.name)
+            if batched is None:
+                raise _missing_owner_error(gate, per_owner)
+            breakdowns.append(batched)
+
+        reports: list[CircuitLeakageReport] = []
+        for index in range(batch):
+            net_values = flattened.net_values[index]
+            per_gate = {
+                gate.name: GateLeakage(
+                    gate_name=gate.name,
+                    gate_type_name=gate.gate_type.value,
+                    vector=tuple(net_values[net] for net in gate.inputs),
+                    breakdown=batched.at(index),
+                )
+                for gate, batched in zip(gates, breakdowns)
+            }
+            reports.append(
+                CircuitLeakageReport(
+                    circuit_name=circuit.name,
+                    method=self.method_name,
+                    input_assignment=dict(assignments[index]),
+                    per_gate=per_gate,
+                    temperature_k=self.temperature_k,
+                    vdd=self.technology.vdd,
+                    metadata={
+                        "runtime_s": per_vector,
+                        "gate_count": len(per_gate),
+                        "transistors": flattened.transistor_count,
+                        "solver_sweeps": int(op.sweeps[index]),
+                        "solver_converged": bool(op.converged[index]),
+                        "engine": "batched",
+                        "batch": batch,
+                    },
+                )
+            )
+        return reports
+
+
+def run_reference_campaign(
+    circuit: Circuit,
+    technology: TechnologyParams,
+    vectors: Iterable[dict[str, int]] | None = None,
+    count: int = 20,
+    rng: RngLike = None,
+    temperature_k: float | None = None,
+    solver_options: SolverOptions | None = None,
+    engine: str = "batched",
+    chunk_size: int = DEFAULT_REFERENCE_CHUNK_SIZE,
+) -> VectorCampaignResult:
+    """Run the transistor-level reference solve over a whole vector set.
+
+    The reference twin of :func:`repro.core.vectors.run_vector_campaign`:
+    it produces a :class:`VectorCampaignResult` whose reports come from the
+    full transistor-level solve instead of the LUT estimator, so the two
+    campaign results compare directly (Fig. 12a).
+
+    Parameters
+    ----------
+    vectors:
+        Explicit vector set; when omitted, ``count`` random vectors are
+        drawn using ``rng``.
+    engine:
+        ``"batched"`` (default) solves ``chunk_size``-bounded batches
+        through :meth:`ReferenceSimulator.estimate_batch`; ``"scalar"``
+        runs the original one-solve-per-vector oracle path.
+    chunk_size:
+        Memory bound of the batched engine; has no effect on the results
+        (chunking is bitwise-neutral) nor on the scalar engine.
+
+    For process-level parallelism over chunks see
+    :class:`repro.engine.parallel.ParallelReferenceCampaign`, which returns
+    identical reports for the same inputs.
+    """
+    if engine not in REFERENCE_ENGINES:
+        raise ValueError(f"engine must be one of {REFERENCE_ENGINES}, got {engine!r}")
+    if vectors is None:
+        vectors = list(random_vectors(circuit, count, rng))
+    else:
+        vectors = list(vectors)
+    if not vectors:
+        # Same loud failure as ParallelReferenceCampaign.run: an empty
+        # campaign would only surface later as NaN means.
+        raise ValueError("no vectors to evaluate")
+    simulator = ReferenceSimulator(technology, temperature_k, solver_options)
+    if engine == "batched":
+        reports = simulator.estimate_batch(circuit, vectors, chunk_size=chunk_size)
+    else:
+        reports = [simulator.estimate(circuit, vector) for vector in vectors]
+    return VectorCampaignResult(
+        circuit_name=circuit.name,
+        method=ReferenceSimulator.method_name,
+        reports=reports,
+    )

@@ -171,6 +171,18 @@ class PackedMosfets:
         for t, row in enumerate(grid):
             if len(row) != self.batch:
                 raise ValueError("all transistor slots must have the same batch size")
+            first = row[0]
+            if all(mosfet is first for mosfet in row):
+                # Shared-netlist batches (the reference path) hand the same
+                # Mosfet object to every column of a slot: extract once,
+                # broadcast across the row instead of per-column assignment.
+                constants = memo.get(first.device)
+                if constants is None:
+                    constants = _device_constants(first.device, self.temperature_k)
+                    memo[first.device] = constants
+                raw[:, t, :] = np.asarray(constants)[:, None]
+                raw[1, t, :] += first.vth_shift
+                continue
             for b, mosfet in enumerate(row):
                 constants = memo.get(mosfet.device)
                 if constants is None:
@@ -182,6 +194,7 @@ class PackedMosfets:
                 raw[1, t, b] += mosfet.vth_shift
         for name, values in zip(_ARRAY_FIELDS, raw):
             setattr(self, name, _compress(values))
+        self._btbt_stacked_cache = None
 
         signs = np.unique(self.sign)
         if not np.all(np.isin(signs, (-1.0, 1.0))):  # pragma: no cover - defensive
@@ -199,7 +212,37 @@ class PackedMosfets:
             setattr(clone, name, selector(getattr(self, name)))
         clone.slots = clone.sign.shape[0]
         clone.batch = max(getattr(clone, name).shape[1] for name in _ARRAY_FIELDS)
+        clone._btbt_stacked_cache = None
         return clone
+
+    def _btbt_stacked(self) -> dict[str, np.ndarray]:
+        """Return the BTBT parameter arrays pre-stacked for both junctions.
+
+        The drain and source junctions evaluate as one fused density call
+        over row-stacked inputs; the parameter halves are identical and
+        bias-independent, so stacking them per residual evaluation (the
+        solver hot path) was pure overhead.  Built lazily because subsets
+        (``rows``/``take_columns``) re-slice the base arrays.
+        """
+        cached = self._btbt_stacked_cache
+        if cached is None:
+            def stack2(parameter: np.ndarray) -> np.ndarray:
+                return np.concatenate([parameter] * 2)
+
+            cached = {
+                "params": dict(
+                    jbtbt_ref=stack2(self.jbtbt_ref),
+                    vref=stack2(self.btbt_vref),
+                    psi_bi=stack2(self.psi_bi),
+                    field_exponent=stack2(self.field_exponent),
+                    field_scale=stack2(self.field_scale),
+                    b_eff=stack2(self.b_eff),
+                    reference=stack2(self.btbt_reference),
+                ),
+                "area_scale": stack2(self.junction_area * self.ibtbt_scale),
+            }
+            self._btbt_stacked_cache = cached
+        return cached
 
     def rows(self, indices: Sequence[int]) -> "PackedMosfets":
         """Return a row (transistor-slot) subset; repeats are allowed."""
@@ -267,23 +310,18 @@ class PackedMosfets:
             igate_scale=self.igate_scale,
         )
 
-        # Both junctions in one fused density evaluation (stacked rows).
-        def stack2(parameter: np.ndarray) -> np.ndarray:
-            return np.concatenate([parameter] * 2)
-
-        density = btbt_current_density_v(
-            np.concatenate([d - nvb, s - nvb]),
-            jbtbt_ref=stack2(self.jbtbt_ref),
-            vref=stack2(self.btbt_vref),
-            psi_bi=stack2(self.psi_bi),
-            field_exponent=stack2(self.field_exponent),
-            field_scale=stack2(self.field_scale),
-            b_eff=stack2(self.b_eff),
-            reference=stack2(self.btbt_reference),
+        # Both junctions in one fused density evaluation (stacked rows); the
+        # bias-independent parameter stacking is cached (see _btbt_stacked).
+        stacked = self._btbt_stacked()
+        scaled = (
+            btbt_current_density_v(
+                np.concatenate([d - nvb, s - nvb]), **stacked["params"]
+            )
+            * stacked["area_scale"]
         )
-        i_btbt_d, i_btbt_s = np.split(
-            density * stack2(self.junction_area) * stack2(self.ibtbt_scale), 2
-        )
+        half = scaled.shape[0] // 2
+        i_btbt_d = scaled[:half]
+        i_btbt_s = scaled[half:]
 
         i_drain = i_ch - igdo - igcd + i_btbt_d
         i_source = -i_ch - igso - igcs + i_btbt_s

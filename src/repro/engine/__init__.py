@@ -10,9 +10,11 @@ idea one level up, to *campaign* workloads (many vectors, many samples):
 * :mod:`repro.engine.campaign` — evaluates an entire vector set in a few
   array passes: bit-matrix logic propagation, one-shot per-net loading
   accumulation and batched LUT interpolation;
-* :mod:`repro.engine.parallel` — fans Monte-Carlo variation samples across
-  a process pool with ``SeedSequence.spawn``-derived per-sample streams,
-  bitwise-reproducible against the serial driver.
+* :mod:`repro.engine.parallel` — fans Monte-Carlo variation samples and
+  transistor-level reference campaigns across a process pool
+  (``SeedSequence.spawn``-derived per-sample streams, memory-bounded
+  same-topology vector chunks), bitwise-reproducible against the serial
+  drivers.
 
 The scalar :class:`~repro.core.estimator.LoadingAwareEstimator` stays the
 reference oracle; regression tests pin the engine against it component by
@@ -30,7 +32,7 @@ from repro.engine.compile import (
     clear_compile_cache,
     compile_circuit,
 )
-from repro.engine.parallel import ParallelMonteCarlo
+from repro.engine.parallel import ParallelMonteCarlo, ParallelReferenceCampaign
 
 __all__ = [
     "BatchedCampaignRun",
@@ -38,6 +40,7 @@ __all__ = [
     "GateTypeTable",
     "LazyReports",
     "ParallelMonteCarlo",
+    "ParallelReferenceCampaign",
     "clear_compile_cache",
     "compile_circuit",
     "run_compiled",

@@ -7,8 +7,9 @@ One call of :func:`run_compiled` answers an entire vector set:
    matrix;
 2. per-pin injections are gathered from the compiled LUT arrays and
    accumulated per net with a single ``np.add.at``;
-3. per-pin loading currents (input loading excludes the pin's own injection,
-   primary-input nets are ideal) feed a batched piecewise-linear
+3. per-pin loading currents (input loading excludes the injection of *all*
+   of the gate's own pins on the net — a gate never loads itself, even with
+   tied inputs — and primary-input nets are ideal) feed a batched piecewise-linear
    interpolation over the characterized response curves — the vectorized
    equivalent of the scalar per-pin ``np.interp`` calls;
 4. per-gate components are clamped at zero and summed into circuit totals.
@@ -271,7 +272,20 @@ def _run_chunk(
     np.add.at(net_injection, compiled.pin_net, pin_injection)
 
     # 3. per-pin loading: everyone else's injection on my net -------------- #
-    pin_loading = net_injection[compiled.pin_net] - pin_injection
+    # "Everyone else" excludes every pin of the pin's own gate on that net,
+    # not just the pin itself: with tied inputs the (gate, net) group sum
+    # keeps a gate from loading itself through its other pin (mirrors the
+    # scalar estimator's own-injection subtraction).  Without tied inputs
+    # every group holds one pin and the group sum IS the pin injection, so
+    # the common case skips the second scatter-add.
+    if compiled.has_tied_inputs:
+        own_injection = np.zeros((compiled.n_pin_groups, n_vectors))
+        np.add.at(own_injection, compiled.pin_group, pin_injection)
+        pin_loading = (
+            net_injection[compiled.pin_net] - own_injection[compiled.pin_group]
+        )
+    else:
+        pin_loading = net_injection[compiled.pin_net] - pin_injection
     pin_loading[compiled.pin_on_pi] = 0.0
 
     # 4. LUT lookup per (gate, pin), clamped accumulation ------------------ #

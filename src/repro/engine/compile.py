@@ -250,10 +250,25 @@ class CompiledCircuit:
 
         #: Net index of every flat input pin (gate-major inside each group).
         self.pin_net = np.zeros(self.n_pins, dtype=np.intp)
+        #: Gate index of every flat input pin.
+        self.pin_gate = np.zeros(self.n_pins, dtype=np.intp)
         for group in self.type_groups:
             self.pin_net[group.pin_slice] = group.input_nets.reshape(-1)
+            k = self.tables[group.type_index].num_inputs
+            self.pin_gate[group.pin_slice] = np.repeat(group.gate_indices, k)
         #: Flat pins sitting on primary-input nets carry no loading.
         self.pin_on_pi = self.pi_mask[self.pin_net]
+        #: Dense (gate, net) group id per flat pin: pins of one gate tied to
+        #: one net share a group, so the loading computation can subtract a
+        #: gate's *whole* own injection on the net (a gate must never appear
+        #: as loading on itself, even with tied inputs).
+        _, self.pin_group = np.unique(
+            self.pin_gate * np.intp(self.n_nets) + self.pin_net, return_inverse=True
+        )
+        self.n_pin_groups = int(self.pin_group.max()) + 1 if self.n_pins else 0
+        #: With no tied inputs every group holds exactly one pin and the
+        #: campaign keeps the cheaper per-pin subtraction.
+        self.has_tied_inputs = self.n_pin_groups != self.n_pins
 
     # ------------------------------------------------------------------ #
     # queries used by campaign running and report materialization

@@ -1,9 +1,15 @@
-"""Process-pool Monte-Carlo driver for the variation study.
+"""Process-pool drivers for the transistor-level batch workloads.
 
-Every Monte-Carlo sample of :mod:`repro.variation.montecarlo` is an
-independent pair of transistor-level DC solves — embarrassingly parallel and
-CPU-bound, i.e. exactly the workload a process pool (not threads: the solves
-are pure Python/NumPy) speeds up.
+Two campaign types distribute here:
+
+* :class:`ParallelMonteCarlo` — the Fig. 10/11 Monte-Carlo variation study;
+* :class:`ParallelReferenceCampaign` — transistor-level reference solves of
+  whole vector sets (the Fig. 12a "SPICE" column), chunked into
+  memory-bounded same-topology batches.
+
+Every unit of work is an independent set of transistor-level DC solves —
+embarrassingly parallel and CPU-bound, i.e. exactly the workload a process
+pool (not threads: the solves are pure Python/NumPy) speeds up.
 
 With the default ``engine="batched"`` the unit of distribution is a
 *contiguous batch* of samples, not a single sample: each worker flattens its
@@ -25,7 +31,16 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable
 
+from repro.circuit.netlist import Circuit
+from repro.core.reference import (
+    DEFAULT_REFERENCE_CHUNK_SIZE,
+    REFERENCE_ENGINES,
+    ReferenceSimulator,
+)
+from repro.core.vectors import VectorCampaignResult
 from repro.device.params import TechnologyParams
 from repro.spice.solver import SolverOptions
 from repro.utils.rng import RngLike, spawn_streams
@@ -38,6 +53,15 @@ from repro.variation.montecarlo import (
     simulate_sample,
 )
 from repro.variation.spec import VariationSpec
+
+
+def _default_workers(max_workers: int | None) -> int:
+    """Resolve the worker count shared by both drivers (CPU count, capped)."""
+    if max_workers is None:
+        max_workers = min(os.cpu_count() or 1, 8)
+    if max_workers < 1:
+        raise ValueError("max_workers must be at least 1")
+    return max_workers
 
 
 class ParallelMonteCarlo:
@@ -82,13 +106,9 @@ class ParallelMonteCarlo:
             temperature_k=temperature_k,
             solver_options=solver_options,
         )
-        if max_workers is None:
-            max_workers = min(os.cpu_count() or 1, 8)
-        if max_workers < 1:
-            raise ValueError("max_workers must be at least 1")
         if engine not in ("batched", "scalar"):
             raise ValueError(f"unknown Monte-Carlo engine {engine!r}")
-        self.max_workers = max_workers
+        self.max_workers = _default_workers(max_workers)
         self.engine = engine
 
     def run(self, samples: int, rng: RngLike = None) -> MonteCarloResult:
@@ -143,4 +163,118 @@ class ParallelMonteCarlo:
             input_loads=task.input_loads,
             output_loads=task.output_loads,
             samples=results,
+        )
+
+
+@dataclass(frozen=True)
+class _ReferenceChunkTask:
+    """Everything a reference-campaign chunk needs, minus its vectors.
+
+    Picklable (circuit, technology and solver options are plain
+    dataclasses) so a process pool can ship one copy per worker.
+    """
+
+    circuit: Circuit
+    technology: TechnologyParams
+    temperature_k: float | None
+    solver_options: SolverOptions | None
+    engine: str
+
+
+def _reference_chunk_star(args: tuple[_ReferenceChunkTask, list[dict[str, int]]]):
+    """Process-pool adapter: solve one chunk of reference vectors."""
+    task, chunk = args
+    simulator = ReferenceSimulator(
+        task.technology, task.temperature_k, task.solver_options
+    )
+    if task.engine == "batched":
+        # The chunk already is the memory bound; solve it as one batch.
+        return simulator.estimate_batch(task.circuit, chunk, chunk_size=len(chunk))
+    return [simulator.estimate(task.circuit, vector) for vector in chunk]
+
+
+class ParallelReferenceCampaign:
+    """Fans transistor-level reference solves across worker processes.
+
+    The reference twin of :class:`ParallelMonteCarlo`: a vector set splits
+    into contiguous ``chunk_size`` batches, each worker flattens the circuit
+    once and solves its chunk as one
+    :class:`~repro.spice.batched.BatchedDcSolver` batch, and the reports are
+    reassembled in vector order.  Because every per-column update of the
+    batched solver is independent of its batch neighbours, the result is
+    bitwise identical to the serial
+    :func:`repro.core.reference.run_reference_campaign` whatever the chunk
+    boundaries or worker count — chunking bounds peak memory, nothing else.
+
+    Parameters
+    ----------
+    technology / temperature_k / solver_options:
+        Reference-solve configuration, identical in meaning to
+        :class:`~repro.core.reference.ReferenceSimulator`.
+    max_workers:
+        Worker-process count; ``None`` uses the CPU count (capped at 8) and
+        ``1`` runs in-process with no pool at all.
+    chunk_size:
+        Vectors per batch (the per-worker memory bound).
+    engine:
+        ``"batched"`` (default) solves each chunk as one batch;
+        ``"scalar"`` runs the oracle path vector by vector inside each
+        chunk.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParams,
+        temperature_k: float | None = None,
+        solver_options: SolverOptions | None = None,
+        max_workers: int | None = None,
+        chunk_size: int = DEFAULT_REFERENCE_CHUNK_SIZE,
+        engine: str = "batched",
+    ) -> None:
+        if engine not in REFERENCE_ENGINES:
+            raise ValueError(
+                f"engine must be one of {REFERENCE_ENGINES}, got {engine!r}"
+            )
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.technology = technology
+        self.temperature_k = temperature_k
+        self.solver_options = solver_options
+        self.max_workers = _default_workers(max_workers)
+        self.chunk_size = chunk_size
+        self.engine = engine
+
+    def run(
+        self, circuit: Circuit, vectors: Iterable[dict[str, int]]
+    ) -> VectorCampaignResult:
+        """Solve every vector and return the campaign result in input order."""
+        vectors = list(vectors)
+        if not vectors:
+            raise ValueError("no vectors to evaluate")
+        task = _ReferenceChunkTask(
+            circuit=circuit,
+            technology=self.technology,
+            temperature_k=self.temperature_k,
+            solver_options=self.solver_options,
+            engine=self.engine,
+        )
+        chunks = [
+            vectors[start : start + self.chunk_size]
+            for start in range(0, len(vectors), self.chunk_size)
+        ]
+        workers = min(self.max_workers, len(chunks))
+        if workers == 1:
+            chunk_reports = [_reference_chunk_star((task, chunk)) for chunk in chunks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_reports = list(
+                    pool.map(
+                        _reference_chunk_star,
+                        [(task, chunk) for chunk in chunks],
+                    )
+                )
+        return VectorCampaignResult(
+            circuit_name=circuit.name,
+            method=ReferenceSimulator.method_name,
+            reports=[report for chunk in chunk_reports for report in chunk],
         )

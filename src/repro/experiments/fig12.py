@@ -12,10 +12,13 @@ Three sub-results, matching the paper's panels:
 
 The circuit suite is the paper's: six ISCAS89-sized circuits (synthetic
 stand-ins, see DESIGN.md), the 8x8 array multiplier and the 8-bit ALU.
-Because the reference solve is a full transistor-level relaxation in pure
-Python, the number of reference vectors and the synthetic-circuit scale are
-parameters; the benchmark harness records the configuration used for every
-reported number in EXPERIMENTS.md.
+The reference column of panel (a) rides the batched transistor-level path
+(:func:`repro.core.reference.run_reference_campaign`) by default, which is
+what makes validating the full suite at real vector counts feasible; the
+scalar one-solve-per-vector oracle stays available via
+``reference_engine="scalar"``.  Vector counts and the synthetic-circuit
+scale remain parameters; the benchmark harness records the configuration
+used for every reported number in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -26,7 +29,11 @@ from repro.circuit.logic import random_vectors
 from repro.circuit.netlist import Circuit
 from repro.core.baseline import NoLoadingEstimator
 from repro.core.estimator import LoadingAwareEstimator
-from repro.core.reference import ReferenceSimulator
+from repro.core.reference import (
+    DEFAULT_REFERENCE_CHUNK_SIZE,
+    REFERENCE_ENGINES,
+    run_reference_campaign,
+)
 from repro.core.vectors import (
     LoadingImpactStatistics,
     loading_impact_statistics,
@@ -52,6 +59,7 @@ class Fig12CircuitEntry:
     reference_power_uw: float | None = None
     estimate_vs_reference_percent: dict[str, float] | None = None
     reference_vector_count: int = 0
+    reference_engine: str | None = None
 
 
 @dataclass
@@ -121,9 +129,11 @@ def run_fig12_circuit_estimation(
     technology: TechnologyParams | None = None,
     library: GateLibrary | None = None,
     vectors: int = 100,
-    reference_vectors: int = 1,
-    reference_max_gates: int = 800,
+    reference_vectors: int = 8,
+    reference_max_gates: int | None = None,
     rng: RngLike = 0,
+    reference_engine: str = "batched",
+    reference_chunk_size: int = DEFAULT_REFERENCE_CHUNK_SIZE,
 ) -> Fig12Result:
     """Run the Fig. 12 campaign over ``circuits``.
 
@@ -139,14 +149,27 @@ def run_fig12_circuit_estimation(
         How many of those vectors are additionally validated against the
         transistor-level reference solve (0 disables validation).
     reference_max_gates:
-        Circuits larger than this skip reference validation (the relaxation
-        solve is pure Python; see EXPERIMENTS.md for full-scale runs).
+        When set, circuits larger than this skip reference validation —
+        a wall-clock escape hatch for smoke configurations (see
+        EXPERIMENTS.md).  The default of ``None`` validates the full suite:
+        the batched reference path makes that feasible.
+    reference_engine:
+        ``"batched"`` (default) solves reference vectors in memory-bounded
+        same-topology batches; ``"scalar"`` forces the original
+        one-relaxation-per-vector oracle.
+    reference_chunk_size:
+        Vectors per batched reference solve (peak-memory bound; results are
+        bitwise independent of it).
     """
+    if reference_engine not in REFERENCE_ENGINES:
+        raise ValueError(
+            f"reference_engine must be one of {REFERENCE_ENGINES}, "
+            f"got {reference_engine!r}"
+        )
     technology = technology or make_technology("d25-s")
     library = library or GateLibrary(technology)
     estimator = LoadingAwareEstimator(library)
     baseline = NoLoadingEstimator(library)
-    reference = ReferenceSimulator(technology)
     generator = ensure_rng(rng)
 
     result = Fig12Result(technology_name=technology.name)
@@ -168,9 +191,17 @@ def run_fig12_circuit_estimation(
             impact=impact,
         )
 
-        if reference_vectors > 0 and circuit.gate_count <= reference_max_gates:
+        if reference_vectors > 0 and (
+            reference_max_gates is None or circuit.gate_count <= reference_max_gates
+        ):
             ref_vectors = vector_list[:reference_vectors]
-            ref_campaign = run_vector_campaign(reference, circuit, vectors=ref_vectors)
+            ref_campaign = run_reference_campaign(
+                circuit,
+                technology,
+                vectors=ref_vectors,
+                engine=reference_engine,
+                chunk_size=reference_chunk_size,
+            )
             est_campaign = run_vector_campaign(estimator, circuit, vectors=ref_vectors)
             entry.reference_power_uw = watts_to_microwatts(
                 ref_campaign.mean_total() * technology.vdd
@@ -185,6 +216,7 @@ def run_fig12_circuit_estimation(
                 key: sum(values) / len(values) for key, values in diffs.items()
             }
             entry.reference_vector_count = len(ref_vectors)
+            entry.reference_engine = reference_engine
 
         result.entries.append(entry)
     return result

@@ -34,6 +34,7 @@ from repro.spice.batched import (
 )
 from repro.spice.analysis import (
     ComponentBreakdown,
+    batched_leakage_by_owner,
     gate_injection_at_node,
     leakage_by_owner,
     total_leakage,
@@ -51,6 +52,7 @@ __all__ = [
     "BatchedDcSolver",
     "BatchedOperatingPoint",
     "ComponentBreakdown",
+    "batched_leakage_by_owner",
     "gate_injection_at_node",
     "leakage_by_owner",
     "total_leakage",

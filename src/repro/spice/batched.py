@@ -42,35 +42,17 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.device.batched import PackedMosfets
-from repro.spice.analysis import ComponentBreakdown
+from repro.spice.analysis import (
+    BatchedComponentBreakdown,
+    batched_leakage_by_owner,
+    owner_slot_ids,
+)
 from repro.spice.netlist import NodeKind, TransistorNetlist
 from repro.spice.solver import OperatingPoint, SolverOptions
 from repro.utils.rootfind import chandrupatla
 
 #: Terminal evaluation order shared with :meth:`TransistorInstance.terminals`.
 _TERMINALS = ("gate", "drain", "source", "bulk")
-
-
-@dataclass(frozen=True)
-class BatchedComponentBreakdown:
-    """Per-instance leakage components of one owner, as ``(B,)`` arrays."""
-
-    subthreshold: np.ndarray
-    gate: np.ndarray
-    btbt: np.ndarray
-
-    @property
-    def total(self) -> np.ndarray:
-        """Return the summed leakage per batch instance."""
-        return self.subthreshold + self.gate + self.btbt
-
-    def at(self, index: int) -> ComponentBreakdown:
-        """Return instance ``index`` as a scalar :class:`ComponentBreakdown`."""
-        return ComponentBreakdown(
-            subthreshold=float(self.subthreshold[index]),
-            gate=float(self.gate[index]),
-            btbt=float(self.btbt[index]),
-        )
 
 
 @dataclass
@@ -168,6 +150,61 @@ class _NodeProblem:
         )
 
 
+class _ClusterComponent:
+    """One maximal free-node region connectable by channel edges.
+
+    Channel (free drain - free source) edges only exist inside a gate
+    template, so these regions are small (an output node plus its stack
+    nodes) and their conducting sub-clusters depend only on the local edge
+    pattern — the key fact that lets the cluster pass group batch columns
+    per component instead of by the global pattern.
+    """
+
+    __slots__ = ("rows", "edge_indices", "edges", "_cluster_cache")
+
+    def __init__(self, rows: list[int], edge_indices: np.ndarray, edges) -> None:
+        self.rows = rows
+        #: Indices of this component's edges into the solver's edge list.
+        self.edge_indices = edge_indices
+        self.edges = edges
+        self._cluster_cache: dict[bytes, list[list[int]]] = {}
+
+    def clusters_for(self, pattern: np.ndarray) -> list[list[int]]:
+        """Union-find the component rows joined by the conducting edges.
+
+        Patterns recur heavily across sweeps (a node's conducting state is
+        set by quasi-static gate voltages), so results are memoized per
+        pattern.  Member lists keep free-row order; singletons are dropped.
+        """
+        key = pattern.tobytes()
+        cached = self._cluster_cache.get(key)
+        if cached is not None:
+            return cached
+
+        parent = {row: row for row in self.rows}
+
+        def find(row: int) -> int:
+            while parent[row] != row:
+                parent[row] = parent[parent[row]]
+                row = parent[row]
+            return row
+
+        for edge, on in zip(self.edges, pattern):
+            if not on:
+                continue
+            _gate, drain, source, _sign = edge
+            ra, rb = find(drain), find(source)
+            if ra != rb:
+                parent[ra] = rb
+
+        groups: dict[int, list[int]] = {}
+        for row in self.rows:
+            groups.setdefault(find(row), []).append(row)
+        clusters = [members for members in groups.values() if len(members) > 1]
+        self._cluster_cache[key] = clusters
+        return clusters
+
+
 class BatchedDcSolver:
     """Gauss–Seidel DC solver for a batch of same-topology netlists.
 
@@ -229,6 +266,7 @@ class BatchedDcSolver:
             dtype=int,
         )
         self._owners = [t.owner for t in reference.transistors]
+        self._owner_order, self._owner_ids = owner_slot_ids(self._owners)
 
         # Supply-dependent per-instance quantities.
         self._vdd = np.array([net.vdd for net in self.netlists])
@@ -237,7 +275,13 @@ class BatchedDcSolver:
         self._mid_rail = 0.5 * self._vdd
 
         self._problems = self._build_problems(reference)
+        self._problems_by_row = {p.row: p for p in self._problems}
         self._cluster_edges = self._build_cluster_edges(reference)
+        self._cluster_gate_rows = np.array(
+            [e[0] for e in self._cluster_edges], dtype=int
+        )
+        self._cluster_signs = np.array([e[3] for e in self._cluster_edges])[:, None]
+        self._cluster_components = self._build_cluster_components()
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -256,6 +300,11 @@ class BatchedDcSolver:
                     raise ValueError(
                         f"netlist {position}: node {name!r} changed kind"
                     )
+            if net.transistors is reference.transistors:
+                # Shared-topology views (the batched reference path) share the
+                # transistor list object outright — structurally identical by
+                # construction, so the per-transistor comparison is skipped.
+                continue
             if len(net.transistors) != len(reference.transistors):
                 raise ValueError(
                     f"netlist {position} has a different transistor count"
@@ -429,22 +478,18 @@ class BatchedDcSolver:
 
         The batched twin of :func:`repro.spice.analysis.leakage_by_owner`:
         every transistor of every instance is re-evaluated at the solved
-        voltages in one array pass, then summed per owner tag.
+        voltages in one array pass, then scatter-added per owner tag
+        (:func:`repro.spice.analysis.batched_leakage_by_owner`, with the
+        owner indexing hoisted to construction time).
         """
         g, d, s, b = (op.voltages[rows] for rows in self._transistor_rows)
         components = self.packed.component_currents(g, d, s, b)
-
-        owner_rows: dict[str, list[int]] = {}
-        for slot, owner in enumerate(self._owners):
-            owner_rows.setdefault(owner, []).append(slot)
-        return {
-            owner: BatchedComponentBreakdown(
-                subthreshold=components.i_subthreshold[rows].sum(axis=0),
-                gate=components.i_gate[rows].sum(axis=0),
-                btbt=components.i_btbt[rows].sum(axis=0),
-            )
-            for owner, rows in owner_rows.items()
-        }
+        return batched_leakage_by_owner(
+            self._owners,
+            components,
+            slot_ids=self._owner_ids,
+            owner_order=self._owner_order,
+        )
 
     def gate_injection_at_node(
         self,
@@ -611,25 +656,47 @@ class BatchedDcSolver:
         if columns.size == 0:
             return
 
-        gate_rows = np.array([e[0] for e in self._cluster_edges])
-        signs = np.array([e[3] for e in self._cluster_edges])[:, None]
         conducting = (
-            signs * (voltages[gate_rows][:, columns] - mid_rail[columns]) > 0.0
+            self._cluster_signs
+            * (voltages[self._cluster_gate_rows][:, columns] - mid_rail[columns])
+            > 0.0
         )
 
-        problems_by_row = {p.row: p for p in self._problems}
-        patterns, inverse = np.unique(conducting, axis=1, return_inverse=True)
-        for pattern_id in range(patterns.shape[1]):
-            group = columns[np.flatnonzero(inverse == pattern_id)]
-            pattern = patterns[:, pattern_id]
-            clusters = self._clusters_for_pattern(pattern)
-            for members in clusters:
-                self._solve_one_cluster(
-                    voltages, hi_limit, group, active[group], members, problems_by_row
-                )
+        # Channel edges never span two potential components, so each
+        # component's clusters depend only on its *local* conducting pattern.
+        # Grouping columns per component (instead of by the global pattern
+        # across all edges) keeps the column groups wide even when every
+        # batch instance applies a different input vector — the regime of
+        # the batched reference path — while each column still receives
+        # exactly its own conducting clusters.  Executing the collected
+        # solves in first-member order reproduces the per-column solve order
+        # of a global-pattern grouping bit for bit.
+        items: list[tuple[int, list[int], np.ndarray]] = []
+        for component in self._cluster_components:
+            local = conducting[component.edge_indices]
+            patterns, inverse = np.unique(local, axis=1, return_inverse=True)
+            for pattern_id in range(patterns.shape[1]):
+                pattern = patterns[:, pattern_id]
+                if not pattern.any():
+                    continue
+                group = columns[np.flatnonzero(inverse == pattern_id)]
+                for members in component.clusters_for(pattern):
+                    items.append((members[0], members, group))
+        items.sort(key=lambda item: item[0])
+        for _first_row, members, group in items:
+            self._solve_one_cluster(
+                voltages, hi_limit, group, active[group], members,
+                self._problems_by_row,
+            )
 
-    def _clusters_for_pattern(self, pattern: np.ndarray) -> list[list[int]]:
-        """Union-find the free-node rows joined by conducting edges."""
+    def _build_cluster_components(self) -> list["_ClusterComponent"]:
+        """Connected components of free nodes over *all* channel edges.
+
+        A component is the maximal region a conducting cluster could ever
+        cover; the per-sweep clusters are its sub-groups joined by the edges
+        that actually conduct (see :meth:`_ClusterComponent.clusters_for`).
+        Components are ordered by their first member row.
+        """
         parent = {row: row for row in self._free_rows}
 
         def find(row: int) -> int:
@@ -638,18 +705,26 @@ class BatchedDcSolver:
                 row = parent[row]
             return row
 
-        for edge, on in zip(self._cluster_edges, pattern):
-            if not on:
-                continue
-            _gate, drain, source, _sign = edge
+        for _gate, drain, source, _sign in self._cluster_edges:
             ra, rb = find(drain), find(source)
             if ra != rb:
                 parent[ra] = rb
 
-        groups: dict[int, list[int]] = {}
+        rows_by_root: dict[int, list[int]] = {}
         for row in self._free_rows:
-            groups.setdefault(find(row), []).append(row)
-        return [members for members in groups.values() if len(members) > 1]
+            rows_by_root.setdefault(find(row), []).append(row)
+        edges_by_root: dict[int, list[int]] = {}
+        for index, (_gate, drain, _source, _sign) in enumerate(self._cluster_edges):
+            edges_by_root.setdefault(find(drain), []).append(index)
+        return [
+            _ClusterComponent(
+                rows=rows,
+                edge_indices=np.array(edges_by_root[root], dtype=int),
+                edges=[self._cluster_edges[i] for i in edges_by_root[root]],
+            )
+            for root, rows in rows_by_root.items()
+            if len(rows) > 1
+        ]
 
     def _solve_one_cluster(
         self,

@@ -65,6 +65,46 @@ class TestEstimatorBasics:
         assert loaded.components.gate < baseline.components.gate
 
 
+class TestTiedInputSelfLoading:
+    """A gate with two pins tied to one net must not load itself (bugfix)."""
+
+    @staticmethod
+    def _tied_nand_circuit():
+        from repro.circuit.netlist import Circuit
+        from repro.gates.library import GateType
+
+        circuit = Circuit(name="tied_nand")
+        circuit.add_input("in")
+        circuit.add_gate("drv", GateType.INV, ["in"], "x")
+        circuit.add_gate("g", GateType.NAND2, ["x", "x"], "y")
+        circuit.add_gate("load", GateType.INV, ["x"], "z")
+        circuit.add_output("y")
+        circuit.add_output("z")
+        return circuit
+
+    def test_tied_pins_see_only_other_receivers(self, library_d25s):
+        circuit = self._tied_nand_circuit()
+        report = LoadingAwareEstimator(library_d25s).estimate(circuit, {"in": 1})
+        # x is 0, so the tied NAND sees vector (0, 0) and the load sees (0,).
+        load_injection = library_d25s.pin_injection("inv", (0,), "a")
+        entry = report.per_gate["g"]
+        # Each of the two tied pins sees exactly the load inverter's
+        # injection — not the gate's own other pin fed back as loading.
+        assert entry.input_loading == pytest.approx(2.0 * load_injection, rel=1e-12)
+
+    def test_driver_output_loading_still_sums_all_receivers(self, library_d25s):
+        circuit = self._tied_nand_circuit()
+        report = LoadingAwareEstimator(library_d25s).estimate(circuit, {"in": 1})
+        expected = (
+            library_d25s.pin_injection("nand2", (0, 0), "a")
+            + library_d25s.pin_injection("nand2", (0, 0), "b")
+            + library_d25s.pin_injection("inv", (0,), "a")
+        )
+        assert report.per_gate["drv"].output_loading == pytest.approx(
+            expected, rel=1e-12
+        )
+
+
 class TestAgainstReference:
     """The estimator must track the full transistor-level solve (Fig. 12a)."""
 

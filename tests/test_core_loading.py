@@ -29,6 +29,38 @@ class TestLoadingEffectContainer:
             effect.component("bogus")
 
 
+class TestPercentSemantics:
+    """Defined semantics of the percent computation over zero nominals."""
+
+    @staticmethod
+    def _breakdown(**overrides):
+        from repro.spice.analysis import ComponentBreakdown
+
+        values = {"subthreshold": 2e-9, "gate": 1e-9, "btbt": 5e-10}
+        values.update(overrides)
+        return ComponentBreakdown(**values)
+
+    def test_zero_over_zero_reports_zero_percent(self):
+        """A component disabled in the technology (0 A nominal, 0 A loaded)
+        has no loading effect: exactly 0 %, not inf/NaN."""
+        from repro.core.loading import _percent
+
+        effect = _percent(
+            self._breakdown(btbt=0.0), self._breakdown(btbt=0.0)
+        )
+        assert effect.btbt == 0.0
+        assert effect.subthreshold == pytest.approx(0.0)
+
+    def test_finite_over_zero_raises_with_component_name(self):
+        """A nonzero loaded value over a zero nominal is undefined and must
+        fail loudly, naming the component, instead of silently propagating
+        a fake 0 % into the Fig. 5-7 tables."""
+        from repro.core.loading import _percent
+
+        with pytest.raises(ValueError, match="'btbt'"):
+            _percent(self._breakdown(btbt=1e-12), self._breakdown(btbt=0.0))
+
+
 class TestSignedInjection:
     def test_sign_follows_pin_level(self, analyzer):
         # Input pin at '0' -> loading injects current (+); at '1' -> draws (-).

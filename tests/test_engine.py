@@ -79,6 +79,38 @@ class TestBatchedCampaignMatchesScalar:
         )
         _assert_campaigns_match(batched, scalar)
 
+    def test_tied_inputs_pin_to_scalar(self, library_d25s):
+        """Tied-input self-loading regression: a gate with two pins on one
+        net must subtract *both* of its own pins from the net total, in the
+        scalar estimator and in the engine's np.add.at accumulation alike."""
+        from repro.circuit.netlist import Circuit
+        from repro.gates.library import GateType
+
+        circuit = Circuit(name="tied_mix")
+        circuit.add_input("in")
+        circuit.add_gate("drv", GateType.INV, ["in"], "x")
+        circuit.add_gate("tied", GateType.NAND2, ["x", "x"], "y")
+        circuit.add_gate("tied3", GateType.NAND3, ["x", "y", "x"], "w")
+        circuit.add_gate("load", GateType.INV, ["x"], "z")
+        circuit.add_output("w")
+        circuit.add_output("z")
+
+        estimator = LoadingAwareEstimator(library_d25s)
+        vectors = [{"in": 0}, {"in": 1}]
+        batched = run_vector_campaign(
+            estimator, circuit, vectors=vectors, engine="batched"
+        )
+        scalar = run_vector_campaign(
+            estimator, circuit, vectors=vectors, engine="scalar"
+        )
+        _assert_campaigns_match(batched, scalar)
+        for v in range(len(vectors)):
+            report_b, report_s = batched.reports[v], scalar.reports[v]
+            for name in circuit.gates:
+                assert report_b.per_gate[name].input_loading == pytest.approx(
+                    report_s.per_gate[name].input_loading, rel=1e-12, abs=1e-24
+                )
+
     def test_no_loading_totals_pin_to_scalar(self, library_d25s):
         circuit = iscas_like("s838", scale=0.1)
         estimator = NoLoadingEstimator(library_d25s)

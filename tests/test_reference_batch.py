@@ -1,0 +1,244 @@
+"""Regression tests for the batched transistor-level reference path.
+
+The contract mirrors the batched campaign engine's: the scalar
+:meth:`ReferenceSimulator.estimate` relaxation is the oracle, and
+:meth:`ReferenceSimulator.estimate_batch` must reproduce its per-gate
+breakdowns and totals to solver-tolerance error while being *bitwise*
+independent of how a vector set is grouped into batches (chunk sizes,
+batch neighbours, parallel workers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.flatten import flatten, flatten_batch
+from repro.circuit.generators import (
+    array_multiplier,
+    inverter_chain,
+    iscas_like,
+    nand_tree,
+)
+from repro.circuit.logic import random_vectors
+from repro.core.reference import ReferenceSimulator, run_reference_campaign
+from repro.core.report import REPORT_COMPONENTS
+from repro.engine import ParallelReferenceCampaign
+
+#: Solver-tolerance-level agreement between the scalar and batched engines
+#: (default tolerances; the benchmark pins 1e-11 at tightened ones).
+ENGINE_RTOL = 1e-6
+
+
+def _assert_reports_match(batched, scalar, rtol=ENGINE_RTOL):
+    assert batched.input_assignment == scalar.input_assignment
+    assert set(batched.per_gate) == set(scalar.per_gate)
+    for name, entry_s in scalar.per_gate.items():
+        entry_b = batched.per_gate[name]
+        assert entry_b.vector == entry_s.vector
+        assert entry_b.gate_type_name == entry_s.gate_type_name
+        for component in ("subthreshold", "gate", "btbt"):
+            assert entry_b.breakdown.component(component) == pytest.approx(
+                entry_s.breakdown.component(component), rel=rtol, abs=1e-24
+            )
+    for component in REPORT_COMPONENTS:
+        assert batched.component(component) == pytest.approx(
+            scalar.component(component), rel=rtol
+        )
+
+
+def _bitwise_equal(report_a, report_b):
+    if report_a.input_assignment != report_b.input_assignment:
+        return False
+    for name, entry_a in report_a.per_gate.items():
+        entry_b = report_b.per_gate[name]
+        if entry_a.breakdown.as_dict() != entry_b.breakdown.as_dict():
+            return False
+    return True
+
+
+class TestFlattenBatch:
+    def test_structure_shared_and_per_vector_arrays(self, d25s):
+        circuit = nand_tree(2)
+        assignments = [
+            {f"in{i}": bit for i in range(4)} for bit in (0, 1)
+        ]
+        flattened = flatten_batch(circuit, d25s, assignments)
+        assert flattened.batch == 2
+        views = flattened.netlist_views()
+        assert len(views) == 2
+        # One shared transistor topology: the views alias the instance list.
+        assert all(view.transistors is flattened.netlist.transistors for view in views)
+        # Per-vector columns equal the scalar flatten of the same assignment.
+        seeds = flattened.initial_voltages()
+        for column, assignment in enumerate(assignments):
+            scalar = flatten(circuit, d25s, assignment)
+            for net in circuit.primary_inputs:
+                assert views[column].nodes[net].voltage == pytest.approx(
+                    scalar.netlist.nodes[net].voltage
+                )
+            scalar_seeds = scalar.initial_voltages()
+            assert set(seeds) == set(scalar_seeds)
+            for node, values in seeds.items():
+                assert values[column] == scalar_seeds[node]
+
+    def test_empty_assignments_rejected(self, d25s):
+        with pytest.raises(ValueError, match="at least one"):
+            flatten_batch(nand_tree(1), d25s, [])
+
+
+class TestBatchedMatchesScalar:
+    def test_synthetic_circuit(self, d25s):
+        circuit = iscas_like("s838", scale=0.05)
+        vectors = list(random_vectors(circuit, 4, rng=3))
+        simulator = ReferenceSimulator(d25s)
+        batched = simulator.estimate_batch(circuit, vectors)
+        for report, vector in zip(batched, vectors):
+            _assert_reports_match(report, simulator.estimate(circuit, vector))
+            assert report.metadata["engine"] == "batched"
+            assert report.metadata["solver_converged"]
+
+    def test_multiplier(self, d25s):
+        circuit = array_multiplier(3)
+        inputs = list(circuit.primary_inputs)
+        vectors = [
+            {net: (i >> j) & 1 for j, net in enumerate(inputs)}
+            for i in (0, 21, 63)
+        ]
+        simulator = ReferenceSimulator(d25s)
+        batched = simulator.estimate_batch(circuit, vectors)
+        for report, vector in zip(batched, vectors):
+            _assert_reports_match(report, simulator.estimate(circuit, vector))
+
+
+class TestBatchCompositionInvariance:
+    def test_chunk_size_is_bitwise_neutral(self, d25s):
+        circuit = nand_tree(2)
+        vectors = list(random_vectors(circuit, 5, rng=7))
+        simulator = ReferenceSimulator(d25s)
+        whole = simulator.estimate_batch(circuit, vectors, chunk_size=5)
+        chunked = simulator.estimate_batch(circuit, vectors, chunk_size=2)
+        solo = simulator.estimate_batch(circuit, vectors, chunk_size=1)
+        for a, b, c in zip(whole, chunked, solo):
+            assert _bitwise_equal(a, b)
+            assert _bitwise_equal(a, c)
+
+    def test_mixed_batch_with_corner_vectors(self, d25s):
+        """A batch mixing all-zeros, all-ones and random vectors: every
+        column must match its own single-vector batch bitwise."""
+        circuit = nand_tree(2)
+        inputs = list(circuit.primary_inputs)
+        vectors = (
+            [{net: 0 for net in inputs}]
+            + list(random_vectors(circuit, 2, rng=11))
+            + [{net: 1 for net in inputs}]
+        )
+        simulator = ReferenceSimulator(d25s)
+        together = simulator.estimate_batch(circuit, vectors)
+        for vector, report in zip(vectors, together):
+            [alone] = simulator.estimate_batch(circuit, [vector])
+            assert _bitwise_equal(report, alone)
+        # The corner vectors really are in the batch (and differ).
+        assert together[0].input_assignment == {net: 0 for net in inputs}
+        assert together[-1].input_assignment == {net: 1 for net in inputs}
+        assert together[0].total != together[-1].total
+
+    def test_chunk_size_validation(self, d25s):
+        simulator = ReferenceSimulator(d25s)
+        with pytest.raises(ValueError, match="chunk_size"):
+            simulator.estimate_batch(nand_tree(1), [{"in0": 0, "in1": 0}], chunk_size=0)
+
+
+class TestReferenceCampaign:
+    def test_batched_campaign_matches_scalar_campaign(self, d25s):
+        circuit = inverter_chain(3)
+        vectors = [{"in": 0}, {"in": 1}]
+        batched = run_reference_campaign(
+            circuit, d25s, vectors=vectors, engine="batched"
+        )
+        scalar = run_reference_campaign(
+            circuit, d25s, vectors=vectors, engine="scalar"
+        )
+        assert batched.method == scalar.method == "reference"
+        assert batched.vector_count == scalar.vector_count == 2
+        np.testing.assert_allclose(
+            batched.totals(), scalar.totals(), rtol=ENGINE_RTOL
+        )
+        assert batched.runtime_s() > 0.0
+
+    def test_engine_validation(self, d25s):
+        with pytest.raises(ValueError, match="engine"):
+            run_reference_campaign(
+                inverter_chain(1), d25s, vectors=[{"in": 0}], engine="quantum"
+            )
+
+    def test_empty_vector_set_rejected(self, d25s):
+        with pytest.raises(ValueError, match="no vectors"):
+            run_reference_campaign(inverter_chain(1), d25s, vectors=[])
+
+    def test_random_vector_draw(self, d25s):
+        campaign = run_reference_campaign(
+            nand_tree(1), d25s, count=2, rng=5
+        )
+        assert campaign.vector_count == 2
+
+    def test_parallel_driver_is_bitwise_identical(self, d25s):
+        circuit = nand_tree(2)
+        vectors = list(random_vectors(circuit, 4, rng=13))
+        serial = run_reference_campaign(
+            circuit, d25s, vectors=vectors, chunk_size=2
+        )
+        parallel = ParallelReferenceCampaign(
+            d25s, max_workers=2, chunk_size=2
+        ).run(circuit, vectors)
+        assert parallel.method == "reference"
+        for a, b in zip(serial.reports, parallel.reports):
+            assert _bitwise_equal(a, b)
+
+    def test_parallel_driver_validation(self, d25s):
+        with pytest.raises(ValueError, match="engine"):
+            ParallelReferenceCampaign(d25s, engine="nope")
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelReferenceCampaign(d25s, chunk_size=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            ParallelReferenceCampaign(d25s, max_workers=0)
+        with pytest.raises(ValueError, match="no vectors"):
+            ParallelReferenceCampaign(d25s, max_workers=1).run(nand_tree(1), [])
+
+
+class TestMissingOwnerDiagnostic:
+    def test_scalar_path_names_gate_template_and_owners(self, d25s, monkeypatch):
+        import repro.core.reference as reference_module
+
+        real = reference_module.leakage_by_owner
+
+        def dropping(netlist, op):
+            result = real(netlist, op)
+            result.pop("inv1")
+            return result
+
+        monkeypatch.setattr(reference_module, "leakage_by_owner", dropping)
+        simulator = ReferenceSimulator(d25s)
+        with pytest.raises(RuntimeError) as excinfo:
+            simulator.estimate(inverter_chain(2), {"in": 0})
+        message = str(excinfo.value)
+        assert "'inv1'" in message  # the gate
+        assert "template 'inv'" in message  # its template
+        assert "'inv2'" in message  # the owners actually present
+
+    def test_batched_path_names_gate_template_and_owners(self, d25s, monkeypatch):
+        from repro.spice.batched import BatchedDcSolver
+
+        real = BatchedDcSolver.leakage_by_owner
+
+        def dropping(self, op):
+            result = real(self, op)
+            result.pop("inv1")
+            return result
+
+        monkeypatch.setattr(BatchedDcSolver, "leakage_by_owner", dropping)
+        simulator = ReferenceSimulator(d25s)
+        with pytest.raises(RuntimeError) as excinfo:
+            simulator.estimate_batch(inverter_chain(2), [{"in": 0}])
+        message = str(excinfo.value)
+        assert "'inv1'" in message
+        assert "template 'inv'" in message
+        assert "'inv2'" in message
