@@ -131,7 +131,25 @@ def _run_circuit(technology, circuit):
         "max_relative_error": _max_relative_error(
             batched.reports, scalar.reports
         ),
+        # Convergence cost of each engine: iterations/sweeps per solve.
+        "batched_solver": _solver_stats(batched.reports),
+        "scalar_solver": _solver_stats(scalar.reports),
     }
+
+
+def _solver_stats(reports) -> dict:
+    """Aggregate per-solve iteration counts from campaign report metadata."""
+    sweeps = [int(r.metadata["solver_sweeps"]) for r in reports]
+    stats = {
+        "method": reports[0].metadata["solver_method"],
+        "iterations_mean": sum(sweeps) / len(sweeps),
+        "iterations_max": max(sweeps),
+    }
+    if "solver_fallback" in reports[0].metadata:
+        stats["fallbacks"] = sum(
+            1 for r in reports if r.metadata["solver_fallback"]
+        )
+    return stats
 
 
 def _run_workload(technology, circuits):
@@ -149,6 +167,7 @@ def test_batched_reference_speedup(benchmark, d25s):
             "voltage_tol": TIGHT_SOLVER.voltage_tol,
             "xtol": TIGHT_SOLVER.xtol,
             "max_sweeps": TIGHT_SOLVER.max_sweeps,
+            "method": TIGHT_SOLVER.method,
         },
         "min_speedup": MIN_SPEEDUP,
         "max_relative_error_bar": MAX_RELATIVE_ERROR,

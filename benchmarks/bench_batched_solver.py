@@ -167,6 +167,7 @@ def test_batched_solver_speedup(benchmark, d25s):
             "voltage_tol": TIGHT_SOLVER.voltage_tol,
             "xtol": TIGHT_SOLVER.xtol,
             "max_sweeps": TIGHT_SOLVER.max_sweeps,
+            "method": TIGHT_SOLVER.method,
         },
         "characterization": {
             "gate_types": [gate_type.value for gate_type in gate_types],
@@ -175,6 +176,10 @@ def test_batched_solver_speedup(benchmark, d25s):
             "batched_seconds": char_batched_s,
             "speedup": char_speedup,
             "max_relative_error": char_error,
+            # Convergence cost, not just wall clock: per-solve iteration
+            # counts of each engine (sweeps or Newton iterations).
+            "batched_solver_stats": batched_library.characterizer.solve_stats,
+            "scalar_solver_stats": scalar_library.characterizer.solve_stats,
         },
         "monte_carlo": {
             "samples": MC_SAMPLES,
@@ -182,6 +187,7 @@ def test_batched_solver_speedup(benchmark, d25s):
             "batched_seconds": mc_batched_s,
             "speedup": mc_speedup,
             "max_relative_error": mc_error,
+            "solver_method": TIGHT_SOLVER.method,
         },
     }
     path = _json_path()

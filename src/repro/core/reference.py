@@ -128,6 +128,8 @@ class ReferenceSimulator:
                 "transistors": flattened.transistor_count,
                 "solver_sweeps": op.sweeps,
                 "solver_converged": op.converged,
+                # The scalar DcSolver is always the relaxation oracle.
+                "solver_method": "gauss-seidel",
                 "engine": "scalar",
             },
         )
@@ -197,6 +199,19 @@ class ReferenceSimulator:
                 )
                 for gate, batched in zip(gates, breakdowns)
             }
+            metadata = {
+                "runtime_s": per_vector,
+                "gate_count": len(per_gate),
+                "transistors": flattened.transistor_count,
+                "solver_sweeps": int(op.sweeps[index]),
+                "solver_converged": bool(op.converged[index]),
+                "solver_method": op.method,
+                "engine": "batched",
+                "batch": batch,
+            }
+            if op.newton_iterations is not None:
+                metadata["newton_iterations"] = int(op.newton_iterations[index])
+                metadata["solver_fallback"] = bool(op.fallback[index])
             reports.append(
                 CircuitLeakageReport(
                     circuit_name=circuit.name,
@@ -205,15 +220,7 @@ class ReferenceSimulator:
                     per_gate=per_gate,
                     temperature_k=self.temperature_k,
                     vdd=self.technology.vdd,
-                    metadata={
-                        "runtime_s": per_vector,
-                        "gate_count": len(per_gate),
-                        "transistors": flattened.transistor_count,
-                        "solver_sweeps": int(op.sweeps[index]),
-                        "solver_converged": bool(op.converged[index]),
-                        "engine": "batched",
-                        "batch": batch,
-                    },
+                    metadata=metadata,
                 )
             )
         return reports

@@ -27,16 +27,23 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.device.btbt import _temperature_factor, btbt_current_density_v
+from repro.device.btbt import (
+    _temperature_factor,
+    btbt_current_density_grad_v,
+    btbt_current_density_v,
+)
 from repro.device.gate_tunneling import (
     _shape_function,
+    gate_tunneling_components_grad_v,
     gate_tunneling_components_v,
 )
 from repro.device.mosfet import Mosfet
 from repro.device.params import DeviceParams
 from repro.device.subthreshold import (
+    channel_current_grad_v,
     channel_current_v,
     effective_threshold,
+    effective_threshold_grad_v,
     effective_threshold_v,
     specific_current,
 )
@@ -353,6 +360,133 @@ class PackedMosfets:
         """
         ig, idr, isr, ib, *_ = self._assemble(vg, vd, vs, vb)
         return ig, idr, isr, ib
+
+    def kcl_jacobian(self, vg, vd, vs, vb):
+        """Return the terminal currents *and* their per-device Jacobian.
+
+        The analytic backend of the batched Newton solver
+        (:mod:`repro.spice.newton`).  Returns ``(currents, jacobian)``:
+        ``currents`` is the ``(gate, drain, source, bulk)`` tuple of
+        :meth:`kcl_currents` and ``jacobian`` has shape ``(4, 4) + grid``
+        with ``jacobian[i, j]`` the partial derivative of terminal current
+        ``i`` with respect to terminal voltage ``j``, both indexed in
+        ``(gate, drain, source, bulk)`` order and expressed in the *circuit*
+        frame.  The polarity mirroring cancels out of the derivatives (both
+        the current and the voltage mirror), and the source/drain ordering
+        swap exchanges the drain/source rows *and* columns wherever a
+        device's terminals are potential-ordered the other way around.
+        """
+        sign = self.sign
+        nvg, nvd, nvs, nvb = sign * vg, sign * vd, sign * vs, sign * vb
+        swapped = nvd < nvs
+        d = np.maximum(nvd, nvs)
+        s = np.minimum(nvd, nvs)
+        vgs = nvg - s
+        vds = d - s
+        vbs = nvb - s
+        vth_eff, vth_vds, vth_vbs = effective_threshold_grad_v(
+            vds,
+            vbs,
+            vth_base=self.vth_base,
+            body_gamma=self.body_gamma,
+            phi_s=self.phi_s,
+            sqrt_phi_s=self.sqrt_phi_s,
+            dibl=self.dibl,
+        )
+        # Frame partials of the threshold wrt (d, s, b); vg never enters.
+        vth_d = vth_vds
+        vth_s = -(vth_vds + vth_vbs)
+        vth_b = vth_vbs
+
+        i_ch, ich_vgs, ich_vds, ich_vbs = channel_current_grad_v(
+            vgs,
+            vds,
+            self.temperature_k,
+            vth_eff=vth_eff,
+            dvth_dvds=vth_vds,
+            dvth_dvbs=vth_vbs,
+            n_swing=self.n_swing,
+            i_spec=self.i_spec,
+            theta_mobility=self.theta_mobility,
+            isub_scale=self.isub_scale,
+        )
+        # Chain (vgs, vds, vbs) -> frame (g, d, s, b).
+        channel_grad = (
+            ich_vgs,
+            ich_vds,
+            -(ich_vgs + ich_vds + ich_vbs),
+            ich_vbs,
+        )
+
+        gt_components, gt_jacobian = gate_tunneling_components_grad_v(
+            nvg,
+            d,
+            s,
+            nvb,
+            vth_eff=vth_eff,
+            dvth_dd=vth_d,
+            dvth_ds=vth_s,
+            dvth_db=vth_b,
+            tox_nm=self.tox_nm,
+            overlap_area_um2=self.overlap_area,
+            gate_area_um2=self.gate_area,
+            accumulation_factor=self.accumulation_factor,
+            gb_fraction=self.gb_fraction,
+            barrier_ev=self.barrier_ev,
+            b_tox_per_nm=self.b_tox_per_nm,
+            density_scale=self.gt_density_scale,
+            temp_factor=self.gt_temp_factor,
+            igate_scale=self.igate_scale,
+        )
+        igso, igdo, igcs, igcd, igb = gt_components
+
+        stacked = self._btbt_stacked()
+        density, density_grad = btbt_current_density_grad_v(
+            np.concatenate([d - nvb, s - nvb]), **stacked["params"]
+        )
+        scaled = density * stacked["area_scale"]
+        scaled_grad = density_grad * stacked["area_scale"]
+        half = scaled.shape[0] // 2
+        i_btbt_d, i_btbt_s = scaled[:half], scaled[half:]
+        btbt_d_slope, btbt_s_slope = scaled_grad[:half], scaled_grad[half:]
+        # Junction biases are (d - b) and (s - b): frame partial tuples.
+        btbt_d_grad = (0.0, btbt_d_slope, 0.0, -btbt_d_slope)
+        btbt_s_grad = (0.0, 0.0, btbt_s_slope, -btbt_s_slope)
+
+        i_drain = i_ch - igdo - igcd + i_btbt_d
+        i_source = -i_ch - igso - igcs + i_btbt_s
+        i_bulk = -igb - i_btbt_d - i_btbt_s
+        i_gate = igso + igdo + igcs + igcd + igb
+
+        shape = np.broadcast_shapes(
+            np.shape(vg), np.shape(vd), np.shape(vs), np.shape(vb),
+            (self.slots, 1),
+        )
+        jacobian = np.empty((4, 4) + shape)
+        for x in range(4):
+            so, do, cs, cd, gb = (gt_jacobian[row, x] for row in range(5))
+            jacobian[0, x] = so + do + cs + cd + gb
+            jacobian[1, x] = channel_grad[x] - do - cd + btbt_d_grad[x]
+            jacobian[2, x] = -channel_grad[x] - so - cs + btbt_s_grad[x]
+            jacobian[3, x] = -gb - btbt_d_grad[x] - btbt_s_grad[x]
+
+        # Undo the source/drain ordering: swapped devices exchange their
+        # drain/source rows and columns.  The polarity sign cancels (currents
+        # and voltages mirror together), so no sign factor appears here.
+        row_drain = np.where(swapped, jacobian[2], jacobian[1])
+        row_source = np.where(swapped, jacobian[1], jacobian[2])
+        jacobian[1] = row_drain
+        jacobian[2] = row_source
+        col_drain = np.where(swapped, jacobian[:, 2], jacobian[:, 1])
+        col_source = np.where(swapped, jacobian[:, 1], jacobian[:, 2])
+        jacobian[:, 1] = col_drain
+        jacobian[:, 2] = col_source
+
+        ig = sign * i_gate
+        idr = sign * np.where(swapped, i_source, i_drain)
+        isr = sign * np.where(swapped, i_drain, i_source)
+        ib = sign * i_bulk
+        return (ig, idr, isr, ib), jacobian
 
     def component_currents(self, vg, vd, vs, vb) -> ComponentCurrents:
         """Return the leakage component breakdown for the whole grid.

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.device.params import BtbtParams, DeviceParams
 from repro.utils.constants import ROOM_TEMPERATURE_K, silicon_bandgap
-from repro.utils.mathtools import safe_exp, safe_exp_np
+from repro.utils.mathtools import _MAX_EXP_ARG, safe_exp, safe_exp_np
 
 
 def _relative_field(vrev: float, params: BtbtParams) -> float:
@@ -113,6 +113,56 @@ def btbt_current_density_v(
     density = jbtbt_ref * shape / reference
     valid = (vrev > 0.0) & (jbtbt_ref > 0.0) & (field > 0.0)
     return np.where(valid, density, 0.0)
+
+
+def btbt_current_density_grad_v(
+    vrev: np.ndarray,
+    *,
+    jbtbt_ref: np.ndarray,
+    vref: np.ndarray,
+    psi_bi: np.ndarray,
+    field_exponent: np.ndarray,
+    field_scale: np.ndarray,
+    b_eff: np.ndarray,
+    reference: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(density, ddensity/dvrev)``, vectorized.
+
+    Gradient twin of :func:`btbt_current_density_v`.  The density is linear
+    in ``vrev`` times a field factor, so the derivative is computed from the
+    per-volt factor — finite all the way down to ``vrev -> 0+``.  The
+    non-reverse branch (``vrev <= 0``) returns exactly zero for both value
+    and derivative: the model has a genuine kink at zero bias, and the
+    inactive-side derivative is the convention shared by all clamped terms.
+    Where ``safe_exp_np`` clips the Kane exponent the density is flat in the
+    field, and the exponential term's contribution is dropped to match.
+    """
+    vrev = np.asarray(vrev, dtype=float)
+    vrev_clipped = np.maximum(vrev, 0.0)
+    field = field_scale * np.sqrt(vrev_clipped + psi_bi)
+    field_safe = np.where(field > 0.0, field, 1.0)
+    exponent = -b_eff / field_safe
+    exp_term = safe_exp_np(exponent)
+    # Value grouping mirrors btbt_current_density_v bitwise; the per-volt
+    # factor (density with the linear vrev term divided out) only feeds the
+    # derivative, where it stays finite down to vrev -> 0+.
+    shape = field_safe**field_exponent * (vrev_clipped / vref) * exp_term
+    density = jbtbt_ref * shape / reference
+    per_volt = (
+        jbtbt_ref * field_safe**field_exponent * exp_term / (vref * reference)
+    )
+    field_grad = field_scale * field_scale / (2.0 * field_safe)
+    exponential_part = np.where(
+        np.abs(exponent) > _MAX_EXP_ARG, 0.0, b_eff / (field_safe * field_safe)
+    )
+    grad = per_volt * (
+        1.0
+        + vrev_clipped
+        * field_grad
+        * (field_exponent / field_safe + exponential_part)
+    )
+    valid = (vrev > 0.0) & (jbtbt_ref > 0.0) & (field > 0.0)
+    return np.where(valid, density, 0.0), np.where(valid, grad, 0.0)
 
 
 def junction_btbt_current(

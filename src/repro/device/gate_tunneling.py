@@ -30,7 +30,14 @@ import numpy as np
 
 from repro.device.params import DeviceParams, GateTunnelingParams
 from repro.utils.constants import ROOM_TEMPERATURE_K
-from repro.utils.mathtools import safe_exp, safe_exp_np, smooth_step, smooth_step_np
+from repro.utils.mathtools import (
+    _MAX_EXP_ARG,
+    safe_exp,
+    safe_exp_np,
+    smooth_step,
+    smooth_step_grad_np,
+    smooth_step_np,
+)
 
 #: Oxide voltage below which the shape function switches to its Taylor limit.
 _SMALL_VOX = 1.0e-6
@@ -116,6 +123,57 @@ def tunneling_current_density_v(
     return np.maximum(density_scale * shape * temp_factor, 0.0)
 
 
+def tunneling_current_density_grad_v(
+    vox_magnitude: np.ndarray,
+    tox_nm: np.ndarray,
+    *,
+    barrier_ev: np.ndarray,
+    b_tox_per_nm: np.ndarray,
+    density_scale: np.ndarray,
+    temp_factor: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(magnitude, dmagnitude/dvox_magnitude)``, vectorized.
+
+    Gradient twin of :func:`tunneling_current_density_v`, branch for
+    branch: the small-``Vox`` Taylor branch is a constant exponent (zero
+    exponent derivative, exactly like the value path), and where the
+    exponent is clipped by ``safe_exp_np`` the density is flat in ``vox``
+    so the exponential term contributes nothing.  Because the signed
+    density ``sign(vox) * J(|vox|)`` is odd, this even derivative is also
+    ``d(signed density)/d(vox)`` — callers need no extra sign bookkeeping.
+    """
+    phi = barrier_ev
+    ratio = vox_magnitude / phi
+    small = vox_magnitude < _SMALL_VOX
+    high = ratio >= 1.0
+    vox_safe = np.where(small, 1.0, vox_magnitude)
+    remaining = np.maximum(1.0 - ratio, 0.0)
+    sqrt_remaining = np.sqrt(remaining)
+    mid_term = (1.0 - remaining * sqrt_remaining) / vox_safe
+    barrier_term = np.where(
+        high, 1.0 / vox_safe, np.where(small, 1.5 / phi, mid_term)
+    )
+    # d(barrier_term)/dvox per branch; the Taylor branch is a constant.
+    mid_grad = (1.5 * sqrt_remaining / phi - mid_term) / vox_safe
+    barrier_grad = np.where(
+        high, -1.0 / (vox_safe * vox_safe), np.where(small, 0.0, mid_grad)
+    )
+    exponent = -b_tox_per_nm * tox_nm * phi * barrier_term / 1.5
+    exponent_grad = -b_tox_per_nm * tox_nm * phi * barrier_grad / 1.5
+    clipped = np.abs(exponent) > _MAX_EXP_ARG
+    exp_term = safe_exp_np(exponent)
+    prefactor = vox_magnitude / tox_nm
+    shape = prefactor * prefactor * exp_term
+    shape_grad = exp_term * (2.0 * vox_magnitude / (tox_nm * tox_nm)) + np.where(
+        clipped, 0.0, shape * exponent_grad
+    )
+    # Value grouping mirrors tunneling_current_density_v bitwise.
+    return (
+        np.maximum(density_scale * shape * temp_factor, 0.0),
+        density_scale * shape_grad * temp_factor,
+    )
+
+
 def gate_tunneling_components_v(
     vg: np.ndarray,
     vd: np.ndarray,
@@ -187,6 +245,153 @@ def gate_tunneling_components_v(
     igcs = source_share * igc_effective
     igcd = (1.0 - source_share) * igc_effective
     return igso, igdo, igcs, igcd, igb_inv + igb_acc
+
+
+def gate_tunneling_components_grad_v(
+    vg: np.ndarray,
+    vd: np.ndarray,
+    vs: np.ndarray,
+    vb: np.ndarray,
+    *,
+    vth_eff: np.ndarray,
+    dvth_dd: np.ndarray,
+    dvth_ds: np.ndarray,
+    dvth_db: np.ndarray,
+    tox_nm: np.ndarray,
+    overlap_area_um2: np.ndarray,
+    gate_area_um2: np.ndarray,
+    accumulation_factor: np.ndarray,
+    gb_fraction: np.ndarray,
+    barrier_ev: np.ndarray,
+    b_tox_per_nm: np.ndarray,
+    density_scale: np.ndarray,
+    temp_factor: np.ndarray,
+    igate_scale: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gate-tunneling components and their Jacobian in the normalized frame.
+
+    Gradient twin of :func:`gate_tunneling_components_v`.  Returns
+    ``(components, jacobian)`` where ``components`` stacks
+    ``(igso, igdo, igcs, igcd, igb)`` along a leading axis of 5 and
+    ``jacobian[c, x]`` is the partial of component ``c`` with respect to
+    frame voltage ``x`` in ``(vg, vd, vs, vb)`` order.  ``dvth_dd`` /
+    ``dvth_ds`` / ``dvth_db`` are the partials of the effective threshold
+    with respect to the ordered frame voltages (it never depends on the
+    gate), so the inversion blend and channel-potential pinch-off chains
+    through the threshold are included.  The two non-smooth points of the
+    value path — the ``min`` select of the channel pinch-off and its
+    ``max(…, 0)`` clamp — take the same branch as ``np.minimum`` /
+    ``np.maximum`` do (first argument at ties, inactive side at the clamp).
+    """
+    width = 0.05
+    x_inversion = vg - vs - vth_eff
+    inversion = smooth_step_np(x_inversion, width=width)
+    inversion_slope = smooth_step_grad_np(x_inversion, width=width)
+    # Partials of the inversion argument wrt (g, d, s, b).
+    x_inv_grad = (1.0, -dvth_dd, -1.0 - dvth_ds, -dvth_db)
+
+    pinch = vg - vth_eff
+    takes_pinch = pinch <= vd  # np.minimum returns its first argument at ties
+    limited = np.minimum(pinch, vd)
+    excess = limited - vs
+    conducting = excess > 0.0
+    channel_potential = vs + 0.5 * np.maximum(excess, 0.0)
+    limited_grad = (
+        np.where(takes_pinch, 1.0, 0.0),
+        np.where(takes_pinch, -dvth_dd, 1.0),
+        np.where(takes_pinch, -dvth_ds, 0.0),
+        np.where(takes_pinch, -dvth_db, 0.0),
+    )
+    half = np.where(conducting, 0.5, 0.0)
+    potential_grad = (
+        half * limited_grad[0],
+        half * limited_grad[1],
+        1.0 + half * (limited_grad[2] - 1.0),
+        half * limited_grad[3],
+    )
+
+    vox = np.concatenate([vg - vs, vg - vd, vg - channel_potential, vg - vb])
+
+    def stack4(parameter: np.ndarray) -> np.ndarray:
+        parameter = np.asarray(parameter)
+        if parameter.ndim == 0:  # pragma: no cover - scalar parameter
+            return parameter
+        return np.concatenate([parameter] * 4)
+
+    magnitude, magnitude_grad = tunneling_current_density_grad_v(
+        np.abs(vox),
+        stack4(tox_nm),
+        barrier_ev=stack4(barrier_ev),
+        b_tox_per_nm=stack4(b_tox_per_nm),
+        density_scale=stack4(density_scale),
+        temp_factor=stack4(temp_factor),
+    )
+    density_so, density_do, density_channel, density_bulk = np.split(
+        np.sign(vox) * magnitude, 4
+    )
+    # The signed density is odd in vox, so its derivative is the (even)
+    # magnitude derivative — no sign factor (see the grad twin's docstring).
+    slope_so, slope_do, slope_channel, slope_bulk = np.split(magnitude_grad, 4)
+
+    # Value grouping mirrors gate_tunneling_components_v bitwise.
+    igso = overlap_area_um2 * density_so * igate_scale
+    igdo = overlap_area_um2 * density_do * igate_scale
+    igc_total = gate_area_um2 * density_channel * inversion * igate_scale
+    igb_acc = (
+        gate_area_um2
+        * density_bulk
+        * accumulation_factor
+        * (1.0 - inversion)
+        * igate_scale
+    )
+    igb_inv = igc_total * gb_fraction
+    igc_effective = igc_total - igb_inv
+    share = 0.4 + 0.2 * smooth_step_np(vd - vs, width=width)
+    share_slope = 0.2 * smooth_step_grad_np(vd - vs, width=width)
+    igcs = share * igc_effective
+    igcd = (1.0 - share) * igc_effective
+    igb = igb_inv + igb_acc
+    overlap = overlap_area_um2 * igate_scale
+    area = gate_area_um2 * igate_scale
+
+    # Frame partials of each oxide voltage, (vg, vd, vs, vb) order.
+    vox_so_grad = (1.0, 0.0, -1.0, 0.0)
+    vox_do_grad = (1.0, -1.0, 0.0, 0.0)
+    vox_bulk_grad = (1.0, 0.0, 0.0, -1.0)
+    share_grad = (0.0, share_slope, -share_slope, 0.0)
+
+    shape = np.broadcast_shapes(
+        np.shape(vg), np.shape(vd), np.shape(vs), np.shape(vb), np.shape(igso)
+    )
+    components = np.empty((5,) + shape)
+    for row, values in enumerate((igso, igdo, igcs, igcd, igb)):
+        components[row] = values
+
+    jacobian = np.empty((5, 4) + shape)
+    for x in range(4):
+        vox_channel_grad = (
+            (1.0 if x == 0 else 0.0) - potential_grad[x]
+        )
+        inversion_x = inversion_slope * x_inv_grad[x]
+        igso_x = overlap * slope_so * vox_so_grad[x]
+        igdo_x = overlap * slope_do * vox_do_grad[x]
+        igc_total_x = area * (
+            slope_channel * vox_channel_grad * inversion
+            + density_channel * inversion_x
+        )
+        igb_acc_x = area * accumulation_factor * (
+            slope_bulk * vox_bulk_grad[x] * (1.0 - inversion)
+            - density_bulk * inversion_x
+        )
+        igc_effective_x = (1.0 - gb_fraction) * igc_total_x
+        jacobian[0, x] = igso_x
+        jacobian[1, x] = igdo_x
+        jacobian[2, x] = share_grad[x] * igc_effective + share * igc_effective_x
+        jacobian[3, x] = (
+            -share_grad[x] * igc_effective + (1.0 - share) * igc_effective_x
+        )
+        jacobian[4, x] = gb_fraction * igc_total_x + igb_acc_x
+    return components, jacobian
 
 
 class GateTunnelingComponents:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from repro.device.params import DeviceParams
 from repro.utils.constants import EPSILON_OX, ROOM_TEMPERATURE_K, thermal_voltage
-from repro.utils.mathtools import log1p_exp, log1p_exp_np
+from repro.utils.mathtools import log1p_exp, log1p_exp_grad_np, log1p_exp_np
 
 import math
 
@@ -179,6 +179,33 @@ def effective_threshold_v(
     return vth_base + body - dibl * np.maximum(vds, 0.0)
 
 
+def effective_threshold_grad_v(
+    vds: np.ndarray,
+    vbs: np.ndarray,
+    *,
+    vth_base: np.ndarray,
+    body_gamma: np.ndarray,
+    phi_s: np.ndarray,
+    sqrt_phi_s: np.ndarray,
+    dibl: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(vth_eff, dvth/dvds, dvth/dvbs)``, vectorized.
+
+    The gradient twin of :func:`effective_threshold_v`, used by the Newton
+    solver's analytic device Jacobians.  The two kinks of the value path —
+    the depleted-body clamp ``max(phi_s - vbs, 0)`` and the DIBL clamp
+    ``max(vds, 0)`` — take their inactive-side (zero) derivative exactly at
+    the clamp point, matching the convention of every other clamped term.
+    """
+    arg = phi_s - vbs
+    positive = arg > 0.0
+    root = np.sqrt(np.maximum(arg, 0.0))
+    vth = vth_base + body_gamma * (root - sqrt_phi_s) - dibl * np.maximum(vds, 0.0)
+    d_vds = np.where(vds > 0.0, -dibl, 0.0)
+    d_vbs = np.where(positive, -0.5 * body_gamma / np.where(positive, root, 1.0), 0.0)
+    return vth, d_vds, d_vbs
+
+
 def channel_current_v(
     vgs: np.ndarray,
     vds: np.ndarray,
@@ -206,6 +233,67 @@ def channel_current_v(
     forward = log1p_exp_np(vp / (2.0 * vt)) ** 2
     reverse = log1p_exp_np((vp - vds) / (2.0 * vt)) ** 2
     return (i_spec / degradation) * (forward - reverse) * isub_scale
+
+
+def channel_current_grad_v(
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    temperature_k: float,
+    *,
+    vth_eff: np.ndarray,
+    dvth_dvds: np.ndarray,
+    dvth_dvbs: np.ndarray,
+    n_swing: np.ndarray,
+    i_spec: np.ndarray,
+    theta_mobility: np.ndarray,
+    isub_scale: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return the channel current and its partials wrt ``(vgs, vds, vbs)``.
+
+    Gradient twin of :func:`channel_current_v`.  ``vth_eff`` and its
+    partials come from :func:`effective_threshold_grad_v`, so the chain
+    through the bias-dependent threshold (DIBL, body effect) is included:
+    the returned ``d/dvds`` and ``d/dvbs`` hold ``vgs`` fixed but let the
+    threshold move.  The mobility-degradation clamp ``max(overdrive, 0)``
+    contributes its inactive-side (zero) derivative exactly at threshold,
+    matching the value twin's branch.
+    """
+    # The value computation mirrors channel_current_v operation for
+    # operation, so the current returned here is bitwise identical to it.
+    vt = thermal_voltage(temperature_k)
+    vp = (vgs - vth_eff) / n_swing
+    overdrive = vgs - vth_eff
+    a_forward = vp / (2.0 * vt)
+    a_reverse = (vp - vds) / (2.0 * vt)
+    sp_forward = log1p_exp_np(a_forward)
+    sp_reverse = log1p_exp_np(a_reverse)
+    slope_forward = log1p_exp_grad_np(a_forward)
+    slope_reverse = log1p_exp_grad_np(a_reverse)
+    degradation = 1.0 + theta_mobility * np.maximum(overdrive, 0.0)
+    forward = sp_forward**2
+    reverse = sp_reverse**2
+    current = (i_spec / degradation) * (forward - reverse) * isub_scale
+    scale = i_spec * isub_scale
+    difference = forward - reverse
+
+    # Everything flows through u = vgs - vth_eff except the direct vds term
+    # of the reverse softplus and the degradation clamp.
+    u_vgs = 1.0
+    u_vds = -np.asarray(dvth_dvds)
+    u_vbs = -np.asarray(dvth_dvbs)
+    forward_du = sp_forward * slope_forward / (n_swing * vt)
+    reverse_du = sp_reverse * slope_reverse / (n_swing * vt)
+    reverse_dvds = -sp_reverse * slope_reverse / vt
+    degradation_du = theta_mobility * (overdrive > 0.0)
+
+    def partial(u_x, vds_x):
+        numerator = forward_du * u_x - (reverse_du * u_x + reverse_dvds * vds_x)
+        return scale * (
+            numerator / degradation
+            - difference * (degradation_du * u_x) / (degradation * degradation)
+        )
+
+    return current, partial(u_vgs, 0.0), partial(u_vds, 1.0), partial(u_vbs, 0.0)
 
 
 def is_off(

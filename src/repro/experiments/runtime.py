@@ -56,6 +56,8 @@ class RuntimeComparison:
     compile_seconds: float = float("nan")
     characterization_seconds: float = float("nan")
     characterization_engine: str = ""
+    solver_method: str = ""
+    reference_sweeps_mean: float = float("nan")
 
     @property
     def speedup(self) -> float:
@@ -87,6 +89,8 @@ class RuntimeComparison:
                 f"library warm-up time [s] ({self.characterization_engine or 'n/a'})",
                 self.characterization_seconds,
             ],
+            ["cell solver method", self.solver_method or "n/a"],
+            ["reference sweeps per solve (mean)", self.reference_sweeps_mean],
             ["speed-up ref/estimator [x]", self.speedup],
             ["speed-up estimator/batched [x]", self.batched_speedup],
             ["speed-up ref/batched [x]", self.reference_vs_batched],
@@ -142,9 +146,11 @@ def run_runtime_comparison(
 
     start = time.perf_counter()
     transistor_count = 0
+    reference_sweeps: list[int] = []
     for vector in vector_list:
         report = reference.estimate(circuit, vector)
         transistor_count = int(report.metadata["transistors"])
+        reference_sweeps.append(int(report.metadata["solver_sweeps"]))
     reference_seconds = time.perf_counter() - start
 
     return RuntimeComparison(
@@ -158,4 +164,12 @@ def run_runtime_comparison(
         compile_seconds=compile_seconds,
         characterization_seconds=characterization_seconds,
         characterization_engine=library.characterizer.options.engine,
+        # Engine-aware: the scalar engine always relaxes regardless of
+        # SolverOptions.method, and solve_stats records what actually ran.
+        solver_method=str(library.characterizer.solve_stats["method"]),
+        reference_sweeps_mean=(
+            float(sum(reference_sweeps)) / len(reference_sweeps)
+            if reference_sweeps
+            else float("nan")
+        ),
     )

@@ -61,11 +61,20 @@ def characterization_settings(
     Contains every input that can change a characterized record: the full
     technology parameter tree (both device flavours), the characterization
     options (injection grid, drivers, solver tolerances, engine) and the
-    characterization temperature.
+    characterization temperature.  The options are canonicalized by walking
+    their dataclass fields recursively, so the nested
+    :class:`~repro.spice.solver.SolverOptions` — including ``method`` and
+    the Newton knobs — always enters the fingerprint: caches characterized
+    by different solver methods are never conflated.
     """
+    canonical_options = _canonical(options)
+    # The non-convergence *reporting* policy (warn vs raise) can never
+    # change a record that was produced — raising only aborts — so it must
+    # not fork otherwise-identical caches.
+    canonical_options.pop("on_nonconverged", None)
     return {
         "technology": _canonical(technology),
-        "options": _canonical(options),
+        "options": canonical_options,
         "temperature_k": temperature_k,
     }
 

@@ -28,7 +28,9 @@ run characterizes each (gate type, vector) at most once.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -53,6 +55,18 @@ _DUT = "dut"
 DEFAULT_INJECTION_GRID = tuple(np.linspace(-3.2e-6, 3.2e-6, 9))
 
 
+class CharacterizationConvergenceWarning(UserWarning):
+    """A characterization cell's DC solve ended without converging.
+
+    Emitted (once per solve, naming the gate type, the offending vectors
+    and the worst final voltage update) when
+    :attr:`CharacterizationOptions.on_nonconverged` is ``"warn"`` — the
+    default.  A record built from a non-converged operating point can carry
+    silently wrong leakage numbers; set ``on_nonconverged="raise"`` to turn
+    the condition into a hard error.
+    """
+
+
 @dataclass(frozen=True)
 class CharacterizationOptions:
     """Options controlling the characterization cells.
@@ -75,6 +89,13 @@ class CharacterizationOptions:
         gate type's whole (vector, pin, injection) sweep — as one batched DC
         solve; ``"scalar"`` keeps the original per-cell :class:`DcSolver`
         path as the cross-check oracle.
+    on_nonconverged:
+        Policy for cell solves that end without converging: ``"warn"``
+        (default) emits a :class:`CharacterizationConvergenceWarning` naming
+        the gate type, the offending vectors and the worst final voltage
+        update; ``"raise"`` turns the condition into a ``RuntimeError``.
+        Applies to both engines — a record built from a non-converged
+        operating point would otherwise silently carry wrong leakage.
     """
 
     injection_grid: tuple[float, ...] = DEFAULT_INJECTION_GRID
@@ -82,6 +103,7 @@ class CharacterizationOptions:
     driver_fanout: float = 1.0
     solver: SolverOptions = field(default_factory=SolverOptions)
     engine: str = "batched"
+    on_nonconverged: str = "warn"
 
     def __post_init__(self) -> None:
         grid = tuple(float(x) for x in self.injection_grid)
@@ -94,6 +116,11 @@ class CharacterizationOptions:
             raise ValueError("driver_fanout must be positive")
         if self.engine not in ("batched", "scalar"):
             raise ValueError(f"unknown characterization engine {self.engine!r}")
+        if self.on_nonconverged not in ("warn", "raise"):
+            raise ValueError(
+                f"on_nonconverged must be 'warn' or 'raise', "
+                f"got {self.on_nonconverged!r}"
+            )
 
     def curve_grid(self) -> list[float]:
         """Return the response-curve abscissae: the grid with 0.0 included.
@@ -144,6 +171,23 @@ class GateCharacterizer:
             technology.temperature_k if temperature_k is None else float(temperature_k)
         )
         self.options = options or CharacterizationOptions()
+        #: Aggregate DC-solve statistics, updated by every cell solve and
+        #: read by the benchmarks: the BENCH trajectory tracks convergence
+        #: cost (iterations per solve), not just wall clock.  ``iterations``
+        #: counts Gauss–Seidel sweeps or Newton iterations, whichever
+        #: method solved the cell; ``fallbacks`` counts Newton columns that
+        #: were handed to the Gauss–Seidel fallback.
+        self.solve_stats: dict[str, object] = {
+            "method": (
+                "gauss-seidel"
+                if self.options.engine == "scalar"
+                else self.options.solver.method
+            ),
+            "solves": 0,
+            "iterations": 0,
+            "max_iterations": 0,
+            "fallbacks": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # cell construction and solving
@@ -174,6 +218,15 @@ class GateCharacterizer:
         cell = self._build_cell(spec, vector, injections)
         solver = DcSolver(cell.netlist, self.temperature_k, self.options.solver)
         op = solver.solve(initial_voltages=cell.initial)
+        self._record_scalar_solve(op)
+        if not op.converged:
+            detail = f" with injections {injections}" if injections else ""
+            self._report_nonconverged(
+                f"characterization cell for {spec.name} vector {vector}"
+                f"{detail} did not converge within "
+                f"{self.options.solver.max_sweeps} sweeps; largest final "
+                f"voltage update {op.max_update:.3e} V"
+            )
         breakdown = leakage_by_owner(cell.netlist, op).get(_DUT, ComponentBreakdown())
         return CellSolution(
             netlist=cell.netlist,
@@ -328,6 +381,10 @@ class GateCharacterizer:
         nominal_op = nominal_solver.solve(
             initial_voltages=[cell.initial for cell in nominal_cells]
         )
+        self._record_batched_solve(nominal_op)
+        self._check_batched_convergence(
+            spec, nominal_op, lambda column: f"vector {vectors[column]}"
+        )
         nominal_leakage = nominal_solver.leakage_by_owner(nominal_op)[_DUT]
         input_nets = nominal_cells[0].input_nets
         output_net = nominal_cells[0].output_net
@@ -363,6 +420,15 @@ class GateCharacterizer:
                 options.solver,
             )
             injection_op = injection_solver.solve(initial_voltages=warm_starts)
+            self._record_batched_solve(injection_op)
+            self._check_batched_convergence(
+                spec,
+                injection_op,
+                lambda column: (
+                    f"vector {vectors[tasks[column][0]]} pin "
+                    f"{tasks[column][1]!r} injection {tasks[column][2]:.2e} A"
+                ),
+            )
             injection_leakage = injection_solver.leakage_by_owner(injection_op)[_DUT]
             for column, task in enumerate(tasks):
                 breakdown_of_task[task] = injection_leakage.at(column)
@@ -399,6 +465,53 @@ class GateCharacterizer:
                 responses=responses,
             )
         return records
+
+    def _record_scalar_solve(self, op: OperatingPoint) -> None:
+        stats = self.solve_stats
+        stats["solves"] += 1
+        stats["iterations"] += int(op.sweeps)
+        stats["max_iterations"] = max(stats["max_iterations"], int(op.sweeps))
+
+    def _record_batched_solve(self, op) -> None:
+        stats = self.solve_stats
+        stats["solves"] += int(op.batch)
+        stats["iterations"] += int(op.sweeps.sum())
+        stats["max_iterations"] = max(
+            stats["max_iterations"], int(op.sweeps.max())
+        )
+        if op.fallback is not None:
+            stats["fallbacks"] += int(op.fallback.sum())
+
+    def _report_nonconverged(self, message: str) -> None:
+        """Apply the ``on_nonconverged`` policy to a convergence failure."""
+        if self.options.on_nonconverged == "raise":
+            raise RuntimeError(message)
+        warnings.warn(message, CharacterizationConvergenceWarning, stacklevel=3)
+
+    def _check_batched_convergence(
+        self,
+        spec: GateSpec,
+        op,
+        describe: Callable[[int], str],
+    ) -> None:
+        """Check a batched solve's per-column convergence flags.
+
+        ``describe`` renders one batch column as a human-readable cell
+        identity (vector, pin, injection); the first few offending columns
+        are listed so the message stays bounded for wide batches.
+        """
+        bad = np.flatnonzero(~op.converged)
+        if bad.size == 0:
+            return
+        worst = float(op.max_update[bad].max())
+        shown = ", ".join(describe(int(column)) for column in bad[:5])
+        if bad.size > 5:
+            shown += f", ... ({bad.size - 5} more)"
+        self._report_nonconverged(
+            f"{bad.size} of {op.batch} characterization cells for "
+            f"{spec.name} did not converge (worst final voltage update "
+            f"{worst:.3e} V): {shown}"
+        )
 
     def _characterizable_pins(self, spec: GateSpec) -> list[str]:
         """Return the pins a response curve is characterized for.

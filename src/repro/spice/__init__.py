@@ -8,9 +8,12 @@ netlists built from the compact models of :mod:`repro.device`.
 * :mod:`repro.spice.netlist` — nodes, transistor instances, current sources;
 * :mod:`repro.spice.solver` — Gauss–Seidel relaxation with bracketed scalar
   KCL solves per node (robust for weakly coupled leakage networks);
-* :mod:`repro.spice.batched` — the same sweep structure vectorized across a
-  batch of same-topology netlists (characterization grids, Monte-Carlo
-  samples), with the scalar solver retained as the cross-check oracle;
+* :mod:`repro.spice.batched` — the batched solver over same-topology
+  netlists (characterization grids, Monte-Carlo samples), with the scalar
+  solver retained as the cross-check oracle;
+* :mod:`repro.spice.newton` — the batched damped-Newton method behind the
+  default ``SolverOptions(method="newton")``: analytic device Jacobians,
+  dense per-column linear solves, per-column Gauss–Seidel fallback;
 * :mod:`repro.spice.analysis` — per-device and per-gate leakage component
   extraction at a solved operating point.
 

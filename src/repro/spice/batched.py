@@ -14,6 +14,17 @@ both batched workloads of this library:
 
 Solution scheme
 ---------------
+Two methods are available, selected by
+:attr:`~repro.spice.solver.SolverOptions.method`:
+
+* ``"newton"`` (default) — a damped Newton–Raphson iteration on the full
+  free-node Kirchhoff system with analytic device Jacobians, per-column
+  line search and a per-column fallback to the Gauss–Seidel sweeps; see
+  :mod:`repro.spice.newton`.  This converges in ~5–15 iterations where the
+  relaxation needs tens to hundreds of sweeps.
+* ``"gauss-seidel"`` — the relaxation described below, kept as the batched
+  oracle (and as the fallback engine of the Newton path).
+
 The sweep structure mirrors :class:`~repro.spice.solver.DcSolver` exactly —
 Gauss–Seidel relaxation with a periodic conducting-cluster supernode pass (a
 rigid common shift of each cluster) — but every per-node scalar solve becomes *one*
@@ -70,10 +81,22 @@ class BatchedOperatingPoint:
     converged:
         Per-instance convergence flags, shape ``(B,)``.
     sweeps:
-        Per-instance Gauss–Seidel sweep counts (the sweep on which the
-        instance converged, or the last sweep attempted).
+        Per-instance iteration counts of the method that produced the
+        column: Gauss–Seidel sweep counts for relaxation-solved columns
+        (including Newton-fallback columns), Newton iteration counts for
+        Newton-solved ones.
     max_update:
         Per-instance largest node update of the final active sweep (V).
+    method:
+        ``"newton"`` or ``"gauss-seidel"`` — the solver method this batch
+        rode (:attr:`repro.spice.solver.SolverOptions.method`).
+    newton_iterations:
+        Per-instance Newton iteration counts, or None for a pure
+        Gauss–Seidel solve.  Fallback columns record the iterations spent
+        before the fallback.
+    fallback:
+        Per-instance flags marking columns the Newton solver handed to the
+        Gauss–Seidel fallback, or None for a pure Gauss–Seidel solve.
     """
 
     node_index: dict[str, int]
@@ -82,6 +105,9 @@ class BatchedOperatingPoint:
     converged: np.ndarray
     sweeps: np.ndarray
     max_update: np.ndarray
+    method: str = "gauss-seidel"
+    newton_iterations: np.ndarray | None = None
+    fallback: np.ndarray | None = None
 
     @property
     def batch(self) -> int:
@@ -408,27 +434,62 @@ class BatchedDcSolver:
             nodes start from their stored netlist voltage.
         """
         voltages = self._initial_matrix(initial_voltages)
-        options = self.options
-        batch = self.batch
+        if self.options.method == "newton":
+            from repro.spice.newton import solve_newton
 
-        converged = np.zeros(batch, dtype=bool)
-        sweeps = np.zeros(batch, dtype=int)
-        max_update = np.full(batch, np.inf)
+            return solve_newton(self, voltages)
+        converged, sweeps, max_update = self._solve_gauss_seidel(voltages)
+        return BatchedOperatingPoint(
+            node_index=self.node_index,
+            voltages=voltages,
+            temperature_k=self.temperature_k,
+            converged=converged,
+            sweeps=sweeps,
+            max_update=max_update,
+            method="gauss-seidel",
+        )
+
+    def _solve_gauss_seidel(
+        self, voltages: np.ndarray, columns: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run the Gauss–Seidel sweeps on ``voltages`` in place.
+
+        Parameters
+        ----------
+        voltages:
+            Full ``(nodes, B)`` voltage matrix; only the selected columns
+            are read or written.
+        columns:
+            Absolute batch-column indices to solve, or None for the whole
+            batch.  The Newton solver passes its fallback columns here;
+            because every update is per-column masked, solving a subset is
+            bitwise identical to solving those columns in any other batch.
+
+        Returns ``(converged, sweeps, max_update)`` over the selected
+        columns.
+        """
+        options = self.options
+        count = self.batch if columns is None else len(columns)
+
+        converged = np.zeros(count, dtype=bool)
+        sweeps = np.zeros(count, dtype=int)
+        max_update = np.full(count, np.inf)
         # Columns below tolerance whose slow (cluster common) mode has not
         # been checked yet: they get a targeted cluster pass next sweep
         # before convergence counts.  Tracking this per column keeps every
         # column's trajectory independent of its batch neighbours.
-        pending_final = np.zeros(batch, dtype=bool)
+        pending_final = np.zeros(count, dtype=bool)
         has_edges = bool(self._cluster_edges)
 
         for sweep in range(1, options.max_sweeps + 1):
             active = np.flatnonzero(~converged)
             if active.size == 0:
                 break
-            whole = active.size == batch
-            v_active = voltages if whole else voltages[:, active]
-            hi_limit = self._hi_limit if whole else self._hi_limit[active]
-            mid_rail = self._mid_rail if whole else self._mid_rail[active]
+            absolute = active if columns is None else columns[active]
+            whole = columns is None and active.size == self.batch
+            v_active = voltages if whole else voltages[:, absolute]
+            hi_limit = self._hi_limit if whole else self._hi_limit[absolute]
+            mid_rail = self._mid_rail if whole else self._mid_rail[absolute]
 
             scheduled = (sweep - 1) % options.cluster_interval == 0
             cluster_mask = (
@@ -436,7 +497,7 @@ class BatchedDcSolver:
             )
             if has_edges and cluster_mask.any():
                 self._solve_clusters(
-                    v_active, hi_limit, mid_rail, active, cluster_mask
+                    v_active, hi_limit, mid_rail, absolute, cluster_mask
                 )
             # A sweep's convergence only counts for columns whose state has
             # seen the cluster pass (mirrors the scalar solver).
@@ -445,28 +506,23 @@ class BatchedDcSolver:
 
             update_max = np.zeros(active.size)
             for problem in self._problems:
-                active_problem = problem if whole else problem.take_columns(active)
+                active_problem = (
+                    problem if whole else problem.take_columns(absolute)
+                )
                 solved = self._solve_node(active_problem, v_active, hi_limit)
                 update = np.abs(solved - v_active[problem.row])
                 v_active[problem.row] = solved
                 np.maximum(update_max, update, out=update_max)
 
             if not whole:
-                voltages[:, active] = v_active
+                voltages[:, absolute] = v_active
             sweeps[active] = sweep
             max_update[active] = update_max
             below = update_max < options.voltage_tol
             converged[active] = below & countable
             pending_final[active] = below & ~countable
 
-        return BatchedOperatingPoint(
-            node_index=self.node_index,
-            voltages=voltages,
-            temperature_k=self.temperature_k,
-            converged=converged,
-            sweeps=sweeps,
-            max_update=max_update,
-        )
+        return converged, sweeps, max_update
 
     # ------------------------------------------------------------------ #
     # post-solve analysis

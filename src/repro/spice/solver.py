@@ -24,12 +24,26 @@ from scipy.optimize import brentq
 from repro.spice.netlist import NodeKind, TransistorNetlist
 
 
+#: Solver algorithms accepted by :attr:`SolverOptions.method`.
+SOLVER_METHODS = ("newton", "gauss-seidel")
+
+
 @dataclass(frozen=True)
 class SolverOptions:
     """Tunable parameters of the DC solver.
 
     Attributes
     ----------
+    method:
+        Algorithm of the *batched* solver
+        (:class:`repro.spice.batched.BatchedDcSolver`): ``"newton"``
+        (default) takes damped Newton–Raphson steps with analytic device
+        Jacobians and falls back per batch column to Gauss–Seidel sweeps
+        when a step cannot reduce the KCL residual; ``"gauss-seidel"`` runs
+        the relaxation sweeps for every column (the batched oracle).  The
+        scalar :class:`DcSolver` always uses Gauss–Seidel relaxation — it
+        is the cross-check oracle both batched methods are validated
+        against.
     max_sweeps:
         Maximum number of Gauss–Seidel sweeps over all free nodes.
     voltage_tol:
@@ -55,6 +69,23 @@ class SolverOptions:
         never collapses them to one voltage — the microvolt IR drops across
         the conducting channel are preserved and the pass stays harmless
         arbitrarily close to convergence (the shift simply tends to zero).
+    newton_max_iterations:
+        Iteration budget of the batched Newton solver; a column that has
+        not converged when it runs out falls back to Gauss–Seidel sweeps.
+        Newton typically converges in 5–15 iterations from a cold start and
+        1–4 from a warm start, so the default leaves generous headroom.
+    newton_backtracks:
+        Maximum step halvings of the per-column backtracking line search; a
+        column whose residual norm does not decrease even at the smallest
+        damping falls back to Gauss–Seidel.
+    newton_step_limit:
+        Length limit (V) on a column's Newton step: a step whose largest
+        node component exceeds it is *scaled down* whole (preserving the
+        Newton direction — a component-wise clip could turn it into a
+        non-descent direction and stall the line search).  The exponential
+        device characteristics make far-from-solution Jacobians wildly
+        optimistic; limiting the step keeps the first iterations inside
+        the region where the line search is meaningful.
     """
 
     max_sweeps: int = 80
@@ -63,6 +94,10 @@ class SolverOptions:
     initial_window: float = 0.05
     xtol: float = 1.0e-8
     cluster_interval: int = 10
+    method: str = "newton"
+    newton_max_iterations: int = 60
+    newton_backtracks: int = 12
+    newton_step_limit: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_sweeps < 1:
@@ -71,6 +106,16 @@ class SolverOptions:
             raise ValueError("tolerances must be positive")
         if self.cluster_interval < 1:
             raise ValueError("cluster_interval must be at least 1")
+        if self.method not in SOLVER_METHODS:
+            raise ValueError(
+                f"method must be one of {SOLVER_METHODS}, got {self.method!r}"
+            )
+        if self.newton_max_iterations < 1:
+            raise ValueError("newton_max_iterations must be at least 1")
+        if self.newton_backtracks < 0:
+            raise ValueError("newton_backtracks must be non-negative")
+        if self.newton_step_limit <= 0:
+            raise ValueError("newton_step_limit must be positive")
 
 
 @dataclass

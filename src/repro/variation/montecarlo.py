@@ -31,6 +31,7 @@ the mean and standard deviation) are computed from.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -52,6 +53,15 @@ from repro.variation.spec import (
 
 #: Name of the inverter under study inside the generated cluster.
 _TARGET_GATE = "g"
+
+
+class MonteCarloConvergenceWarning(UserWarning):
+    """A Monte-Carlo sample's DC solve ended without converging.
+
+    A sample recorded from a non-converged operating point can bias the
+    Fig. 10/11 statistics; the warning names the structure and the worst
+    final voltage update so the offending configuration is identifiable.
+    """
 
 
 @dataclass(frozen=True)
@@ -111,6 +121,14 @@ def _solve_target_leakage(
             transistor.mosfet.vth_shift = shift
     solver = DcSolver(flattened.netlist, temperature_k, solver_options)
     op = solver.solve(initial_voltages=flattened.initial_voltages())
+    if not op.converged:
+        warnings.warn(
+            f"Monte-Carlo solve of {circuit.name!r} did not converge within "
+            f"{solver_options.max_sweeps} sweeps; largest final voltage "
+            f"update {op.max_update:.3e} V",
+            MonteCarloConvergenceWarning,
+            stacklevel=3,
+        )
     return leakage_by_owner(flattened.netlist, op)[_TARGET_GATE]
 
 
@@ -223,17 +241,26 @@ def simulate_batch(
                     transistor.mosfet.vth_shift = shift
             flats.append(flattened)
 
-    def solve_batch(flats):
+    def solve_batch(flats, label):
         solver = BatchedDcSolver(
             [f.netlist for f in flats], task.temperature_k, task.solver_options
         )
         op = solver.solve(
             initial_voltages=[f.initial_voltages() for f in flats]
         )
+        if not op.all_converged:
+            bad = np.flatnonzero(~op.converged)
+            warnings.warn(
+                f"{bad.size} of {op.batch} Monte-Carlo {label} solves did "
+                f"not converge (worst final voltage update "
+                f"{float(op.max_update[bad].max()):.3e} V)",
+                MonteCarloConvergenceWarning,
+                stacklevel=3,
+            )
         return solver.leakage_by_owner(op)[_TARGET_GATE]
 
-    loaded_leakage = solve_batch(loaded_flat)
-    unloaded_leakage = solve_batch(unloaded_flat)
+    loaded_leakage = solve_batch(loaded_flat, "loaded-structure")
+    unloaded_leakage = solve_batch(unloaded_flat, "unloaded-structure")
     return [
         MonteCarloSample(
             with_loading=loaded_leakage.at(index),

@@ -22,6 +22,7 @@ from repro.circuit.logic import random_vectors
 from repro.core.reference import ReferenceSimulator, run_reference_campaign
 from repro.core.report import REPORT_COMPONENTS
 from repro.engine import ParallelReferenceCampaign
+from repro.spice.solver import SolverOptions
 
 #: Solver-tolerance-level agreement between the scalar and batched engines
 #: (default tolerances; the benchmark pins 1e-11 at tightened ones).
@@ -86,10 +87,17 @@ class TestFlattenBatch:
 
 
 class TestBatchedMatchesScalar:
+    # The ENGINE_RTOL parity bar encodes "same relaxation, vectorized": the
+    # batched Gauss-Seidel sweeps mirror the scalar solver's trajectory, so
+    # these tests pin method="gauss-seidel".  The Newton default is compared
+    # against the scalar oracle in tests/test_newton_solver.py, at tight
+    # solver tolerances where both engines are at the root.
+    GS = SolverOptions(method="gauss-seidel")
+
     def test_synthetic_circuit(self, d25s):
         circuit = iscas_like("s838", scale=0.05)
         vectors = list(random_vectors(circuit, 4, rng=3))
-        simulator = ReferenceSimulator(d25s)
+        simulator = ReferenceSimulator(d25s, solver_options=self.GS)
         batched = simulator.estimate_batch(circuit, vectors)
         for report, vector in zip(batched, vectors):
             _assert_reports_match(report, simulator.estimate(circuit, vector))
@@ -103,7 +111,7 @@ class TestBatchedMatchesScalar:
             {net: (i >> j) & 1 for j, net in enumerate(inputs)}
             for i in (0, 21, 63)
         ]
-        simulator = ReferenceSimulator(d25s)
+        simulator = ReferenceSimulator(d25s, solver_options=self.GS)
         batched = simulator.estimate_batch(circuit, vectors)
         for report, vector in zip(batched, vectors):
             _assert_reports_match(report, simulator.estimate(circuit, vector))
