@@ -33,6 +33,12 @@ from repro.utils.rng import RngLike
 #: Engine routing modes accepted by the campaign entry points.
 ENGINE_MODES = ("auto", "batched", "scalar")
 
+#: Width cap of the *scalar* exhaustive fallback of
+#: ``minimum_leakage_vector(strategy='exhaustive')``: one per-vector
+#: estimator walk per candidate, so far fewer inputs are feasible than
+#: through the batched oracle.
+_MAX_SCALAR_EXHAUSTIVE_INPUTS = 16
+
 
 class LeakageEstimator(Protocol):
     """Anything that can produce a :class:`CircuitLeakageReport` for a vector."""
@@ -243,6 +249,10 @@ def minimum_leakage_vector(
     count: int = 100,
     rng: RngLike = None,
     engine: str = "auto",
+    strategy: str | None = None,
+    strategy_options=None,
+    islands: int = 1,
+    max_workers: int | None = None,
 ) -> tuple[dict[str, int], float]:
     """Return the input vector with the lowest estimated total leakage.
 
@@ -255,11 +265,107 @@ def minimum_leakage_vector(
         ``vectors`` set is ambiguous and raises ``ValueError``.
     engine:
         Same routing switch as :func:`run_vector_campaign`.
+    strategy:
+        Optional search-strategy dispatch into :mod:`repro.optimize`:
+        ``"exhaustive"`` evaluates every vector (the oracle), ``"greedy"``
+        runs the batched random-restart bit-flip hill climber and
+        ``"genetic"`` the island-model genetic search — the latter two make
+        the search tractable far beyond the ~20-input exhaustive wall and
+        require a library-backed estimator.  ``None`` (default) keeps the
+        classic behavior driven by ``vectors`` / ``exhaustive`` / ``count``.
+        Strategies are incompatible with an explicit ``vectors=`` set or
+        ``exhaustive=True`` (the strategy already decides the candidates).
+        ``engine=`` is validated exactly as in the classic path: the
+        heuristics only have a batched implementation (``engine='scalar'``
+        raises), while ``strategy='exhaustive'`` honors ``engine='scalar'``
+        by streaming the oracle through the per-vector estimator — behind
+        the same input-width guard as the batched oracle.
+    strategy_options / islands / max_workers / rng:
+        Forwarded to :func:`repro.optimize.minimize_leakage` when a
+        heuristic strategy is selected: per-strategy knobs
+        (:class:`~repro.optimize.GreedyOptions` /
+        :class:`~repro.optimize.GeneticOptions`), the island split, the
+        process-pool width (results are bitwise worker-count independent)
+        and the root seed.
 
     Returns the (assignment, total leakage in amperes) pair.  The paper notes
     that the winning vector can differ between loading-aware and no-loading
-    estimation, which is why the estimator is a parameter.
+    estimation, which is why the estimator is a parameter.  Callers that
+    want the full search diagnostics (trajectories, evaluation counts,
+    per-island outcomes) should call
+    :func:`repro.optimize.minimize_leakage` directly.
     """
+    if strategy is not None:
+        from repro.optimize import (
+            MAX_EXHAUSTIVE_INPUTS,
+            SEARCH_STRATEGIES,
+            minimize_leakage,
+        )
+
+        if strategy not in SEARCH_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {SEARCH_STRATEGIES}, got {strategy!r}"
+            )
+        if vectors is not None or exhaustive:
+            raise ValueError(
+                "strategy= already decides the candidate set; drop the "
+                "explicit vectors=/exhaustive= arguments"
+            )
+        # Uniform knob validation, shared by the batched and scalar
+        # branches: the deterministic oracle takes no search knobs, and
+        # silently dropping them would mask a caller who meant a heuristic.
+        if strategy == "exhaustive":
+            if strategy_options is not None:
+                raise TypeError("strategy='exhaustive' takes no strategy_options")
+            if islands != 1 or max_workers is not None:
+                raise ValueError(
+                    "strategy='exhaustive' does not parallelize over islands "
+                    "or workers"
+                )
+        # Validate engine= exactly like the classic path (bad names raise,
+        # engine='batched' demands a library-backed estimator) so strategy=
+        # never silently swallows an engine request.
+        use_batched = _check_engine_mode(engine, estimator)
+        if strategy in ("greedy", "genetic"):
+            if not _engine_backed(estimator):
+                raise ValueError(
+                    f"strategy={strategy!r} requires a library-backed "
+                    f"estimator (got {type(estimator).__name__})"
+                )
+            if not use_batched:
+                raise ValueError(
+                    f"strategy={strategy!r} only has a batched "
+                    "implementation; drop engine='scalar'"
+                )
+        if use_batched:
+            result = minimize_leakage(
+                estimator,
+                circuit,
+                strategy=strategy,
+                rng=rng,
+                islands=islands,
+                max_workers=max_workers,
+                options=strategy_options,
+            )
+            return result.best_assignment, result.best_total
+        # strategy='exhaustive' without the batched engine (non-library
+        # estimator, or an explicit engine='scalar' oracle request): stream
+        # every vector through the scalar loop below.  The width guard is
+        # tighter than the batched oracle's MAX_EXHAUSTIVE_INPUTS — one
+        # estimator.estimate call per vector is ~1000x an engine row, so
+        # 2**16 scalar solves is already minutes.
+        n_inputs = len(circuit.primary_inputs)
+        scalar_cap = min(MAX_EXHAUSTIVE_INPUTS, _MAX_SCALAR_EXHAUSTIVE_INPUTS)
+        if n_inputs > scalar_cap:
+            raise ValueError(
+                f"exhaustive search over {n_inputs} inputs would stream "
+                f"2**{n_inputs} vectors through the per-vector scalar "
+                f"estimator (cap: {scalar_cap} inputs); use a "
+                "library-backed estimator — which raises the cap to "
+                f"{MAX_EXHAUSTIVE_INPUTS} and unlocks strategy='greedy'/"
+                "'genetic' for wider circuits"
+            )
+        exhaustive = True
     if exhaustive and vectors is not None:
         raise ValueError(
             "pass either exhaustive=True or an explicit vectors= set, not both"

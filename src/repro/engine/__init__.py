@@ -25,6 +25,7 @@ from repro.engine.campaign import (
     BatchedCampaignRun,
     LazyReports,
     run_compiled,
+    run_totals,
 )
 from repro.engine.compile import (
     CompiledCircuit,
@@ -44,4 +45,5 @@ __all__ = [
     "clear_compile_cache",
     "compile_circuit",
     "run_compiled",
+    "run_totals",
 ]

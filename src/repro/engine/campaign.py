@@ -228,6 +228,66 @@ def run_compiled(
     )
 
 
+def run_totals(
+    compiled: CompiledCircuit,
+    pi_bits: np.ndarray,
+    include_loading: bool = True,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> np.ndarray:
+    """Return the circuit total leakage (A) per vector of a bit matrix.
+
+    ``pi_bits`` is a ``(n_primary_inputs, n_vectors)`` 0/1 matrix whose rows
+    follow ``compiled.circuit.primary_inputs`` order — the same layout
+    :meth:`CompiledCircuit.validate_assignments` produces.  This is the
+    totals-only fast path of :func:`run_compiled` for callers that never
+    materialize reports (the vector-search optimizers of
+    :mod:`repro.optimize` evaluate whole candidate populations through it):
+    per-gate outputs live only per chunk, so peak memory is bounded by
+    ``chunk_size`` regardless of how many candidates are asked about.
+
+    Each vector's total is computed column-independently (every array pass
+    reduces over gates/pins, never across vectors), so results are bitwise
+    identical whatever the batch composition or chunking — the property the
+    optimizers' serial-vs-island reproducibility contract rests on.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    pi_bits = np.ascontiguousarray(pi_bits, dtype=np.uint8)
+    n_pi = len(compiled.circuit.primary_inputs)
+    if pi_bits.ndim != 2 or pi_bits.shape[0] != n_pi:
+        raise ValueError(
+            f"pi_bits must have shape (n_primary_inputs={n_pi}, n_vectors), "
+            f"got {pi_bits.shape}"
+        )
+    if pi_bits.size and pi_bits.max() > 1:
+        raise ValueError("pi_bits entries must be 0 or 1")
+    n_vectors = pi_bits.shape[1]
+    totals = np.zeros(n_vectors)
+    for lo in range(0, n_vectors, chunk_size):
+        hi = min(lo + chunk_size, n_vectors)
+        n = hi - lo
+        per_gate = np.zeros((compiled.n_gates, n, 3))
+        vec_index = np.zeros((compiled.n_gates, n), dtype=np.int64)
+        # Distinct throwaway loading buffers: _run_chunk currently only
+        # writes them, but sharing one array would silently break if a
+        # future change ever reads or accumulates across the two.
+        input_loading = np.zeros((compiled.n_gates, n))
+        output_loading = np.zeros((compiled.n_gates, n))
+        _run_chunk(
+            compiled,
+            pi_bits[:, lo:hi],
+            include_loading,
+            per_gate,
+            vec_index,
+            input_loading,
+            output_loading,
+        )
+        # Same reduction order as BatchedCampaignRun.component_totals
+        # (gates first, then components) so the two paths agree bitwise.
+        totals[lo:hi] = per_gate.sum(axis=0).sum(axis=1)
+    return totals
+
+
 def _run_chunk(
     compiled: CompiledCircuit,
     pi_bits: np.ndarray,

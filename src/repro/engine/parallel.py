@@ -55,7 +55,7 @@ from repro.variation.montecarlo import (
 from repro.variation.spec import VariationSpec
 
 
-def _default_workers(max_workers: int | None) -> int:
+def default_workers(max_workers: int | None) -> int:
     """Resolve the worker count shared by both drivers (CPU count, capped)."""
     if max_workers is None:
         max_workers = min(os.cpu_count() or 1, 8)
@@ -108,7 +108,7 @@ class ParallelMonteCarlo:
         )
         if engine not in ("batched", "scalar"):
             raise ValueError(f"unknown Monte-Carlo engine {engine!r}")
-        self.max_workers = _default_workers(max_workers)
+        self.max_workers = default_workers(max_workers)
         self.engine = engine
 
     def run(self, samples: int, rng: RngLike = None) -> MonteCarloResult:
@@ -240,7 +240,7 @@ class ParallelReferenceCampaign:
         self.technology = technology
         self.temperature_k = temperature_k
         self.solver_options = solver_options
-        self.max_workers = _default_workers(max_workers)
+        self.max_workers = default_workers(max_workers)
         self.chunk_size = chunk_size
         self.engine = engine
 

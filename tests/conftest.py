@@ -5,19 +5,116 @@ operations of this library, so the fixtures that own them are session-scoped:
 every test module reuses one characterized :class:`GateLibrary` per
 technology and one :class:`LoadingAnalyzer`, which keeps the full suite fast
 while still exercising the real numerical paths (nothing is mocked).
+
+On top of the in-memory session scope, the library fixtures are backed by a
+**fingerprinted on-disk cache** (:mod:`repro.gates.cache`): at session start
+records characterized by a previous run are loaded from a cache file keyed
+by the full characterization fingerprint, and at session end the (possibly
+grown) record set is written back atomically.  A fingerprint mismatch
+(different technology/options/temperature) simply ignores the file, so a
+stale cache can never poison a run.
+
+The win is **across runs** (and, under ``pytest-xdist``, multiplied by the
+worker count, since session fixtures are per-process and every worker pays
+characterization on a cold cache): point ``REPRO_TEST_LIBRARY_CACHE`` at a
+persistent directory — locally a fixed path, in CI an ``actions/cache``-d
+one — and subsequent runs characterize nothing.  Within a single cold run
+the cache is only *published* at session teardown (workers start
+simultaneously, so there is no useful intra-run handoff); the run-shared
+default location merely keeps concurrent sessions from trampling system
+temp.  Wall-clock numbers are recorded in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.core.loading import LoadingAnalyzer
 from repro.device.presets import make_technology
+from repro.gates.cache import characterization_fingerprint, load_library, save_library
 from repro.gates.characterize import CharacterizationOptions, GateLibrary
 
 #: Reduced injection grid used by test libraries: spans the same +/- 3.2 uA
 #: range with fewer points so first-use characterization stays quick.
 FAST_GRID = (-3.2e-6, -1.6e-6, 0.0, 1.6e-6, 3.2e-6)
+
+#: Cache-file generation, folded into the cache filename.  The settings
+#: fingerprint covers technology/options/temperature but NOT the model code
+#: itself: with a persistent ``REPRO_TEST_LIBRARY_CACHE``, records produced
+#: before a device-model or solver numerics change would otherwise be
+#: silently reused.  Bump this when changing numerics (or wipe the cache
+#: directory); the run-shared default location never outlives one run, so
+#: only persistent caches are exposed.
+CACHE_GENERATION = 1
+
+
+@pytest.fixture(scope="session")
+def library_cache_dir(tmp_path_factory) -> Path:
+    """Directory holding the fingerprinted characterization caches.
+
+    Default: a sibling of the pytest base temp shared by every xdist worker
+    of the current run.  ``REPRO_TEST_LIBRARY_CACHE`` overrides it with a
+    persistent location that also survives across runs.
+    """
+    override = os.environ.get("REPRO_TEST_LIBRARY_CACHE")
+    if override:
+        path = Path(override)
+    else:
+        base = tmp_path_factory.getbasetemp()
+        # Under pytest-xdist each worker gets basetemp/popen-gwN; the parent
+        # is the run-shared root where workers can see each other's cache.
+        if base.name.startswith(("popen-", "gw")):
+            base = base.parent
+        path = base / "library-cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _disk_cached_library(
+    technology, options: CharacterizationOptions, cache_dir: Path
+):
+    """Yield a :class:`GateLibrary` warmed from / saved to the disk cache."""
+    library = GateLibrary(technology, options=options)
+    fingerprint = characterization_fingerprint(
+        technology, options, library.temperature_k
+    )
+    path = cache_dir / (
+        f"{technology.name}-g{CACHE_GENERATION}-{fingerprint[:16]}.json"
+    )
+    if path.exists():
+        try:
+            load_library(library, path, strict=True)
+        except (ValueError, KeyError, OSError):
+            # Mismatched fingerprint or a torn file: characterize lazily as
+            # if no cache existed; the session-end save repairs the file.
+            pass
+    yield library
+    # Convergent-union publish: merge whatever is on disk *now* (another
+    # xdist worker may have published records this worker never touched —
+    # records are deterministic for a fingerprint, so overwrite direction
+    # is irrelevant) and only republish when the union grew.  Last writer
+    # still wins the rename race, but every publish is a superset of the
+    # file it read, so repeated runs monotonically converge to the full
+    # record set instead of ping-ponging partial per-worker views.
+    on_disk = 0
+    if path.exists():
+        try:
+            on_disk = load_library(library, path, strict=True)
+        except (ValueError, KeyError, OSError):
+            on_disk = 0
+    if len(library.cached_records()) > on_disk:
+        # Atomic publish (write + rename) so concurrent workers can never
+        # tear each other's cache files; every variant is a valid,
+        # fingerprinted cache.
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            save_library(library, tmp)
+            tmp.replace(path)
+        except OSError:  # pragma: no cover - disk-full etc.; cache is optional
+            tmp.unlink(missing_ok=True)
 
 
 @pytest.fixture(scope="session")
@@ -39,15 +136,23 @@ def d25s():
 
 
 @pytest.fixture(scope="session")
-def library25(bulk25):
-    """A characterized library on the 25 nm technology (session cache)."""
-    return GateLibrary(bulk25, options=CharacterizationOptions(injection_grid=FAST_GRID))
+def library25(bulk25, library_cache_dir):
+    """A characterized library on the 25 nm technology (disk-backed cache)."""
+    yield from _disk_cached_library(
+        bulk25,
+        CharacterizationOptions(injection_grid=FAST_GRID),
+        library_cache_dir,
+    )
 
 
 @pytest.fixture(scope="session")
-def library_d25s(d25s):
+def library_d25s(d25s, library_cache_dir):
     """A characterized library on the subthreshold-dominated variant."""
-    return GateLibrary(d25s, options=CharacterizationOptions(injection_grid=FAST_GRID))
+    yield from _disk_cached_library(
+        d25s,
+        CharacterizationOptions(injection_grid=FAST_GRID),
+        library_cache_dir,
+    )
 
 
 @pytest.fixture(scope="session")
