@@ -6,6 +6,16 @@ package that PEP 517 editable installs require; keeping a ``setup.py`` lets
 there.  All metadata lives in ``pyproject.toml``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    # Ship the PEP 561 marker so downstream type checkers see our annotations.
+    package_data={"repro": ["py.typed"]},
+    include_package_data=True,
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

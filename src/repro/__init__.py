@@ -56,6 +56,8 @@ __all__ = [
     "LoadingAwareEstimator",
     "ParallelMonteCarlo",
     "compile_circuit",
+    "lint_circuit",
+    "preflight_circuit",
     "__version__",
 ]
 
@@ -82,4 +84,12 @@ def __getattr__(name: str):
         from repro.engine import compile_circuit
 
         return compile_circuit
+    if name == "lint_circuit":
+        from repro.analysis import lint_circuit
+
+        return lint_circuit
+    if name == "preflight_circuit":
+        from repro.analysis import preflight_circuit
+
+        return preflight_circuit
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

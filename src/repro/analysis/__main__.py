@@ -1,0 +1,165 @@
+"""Command-line netlist linter: ``python -m repro.analysis``.
+
+Usage
+-----
+Lint ``.bench`` files::
+
+    python -m repro.analysis path/to/circuit.bench [more.bench ...]
+
+Run the repository self-check (every built-in benchmark generator circuit,
+plus a ``.bench`` write/re-lint round trip for each)::
+
+    python -m repro.analysis --self-check
+
+Exit codes: ``0`` — no error-severity findings (warnings allowed unless
+``--werror``); ``1`` — at least one error finding; ``2`` — usage error.
+``--json PATH`` archives the full structured report (the CI lint job
+uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.bench_lint import lint_bench_file, lint_bench_text
+from repro.analysis.diagnostics import LintReport, merge_reports
+from repro.analysis.netlist_lint import lint_circuit
+from repro.analysis.rules import RULES
+from repro.circuit.bench_io import write_bench
+
+
+def _self_check_reports(scale: float, seed: int) -> list[LintReport]:
+    """Lint every built-in benchmark generator circuit.
+
+    Covers the synthetic ISCAS89-sized suite, the paper's multiplier and
+    ALU, and the pedagogical generators; each circuit is additionally
+    round-tripped through the ``.bench`` writer and re-linted from text, so
+    the writer/reader pair is exercised on every structure we ship.
+    """
+    from repro.circuit.generators import (
+        alu,
+        array_multiplier,
+        fanout_star,
+        inverter_chain,
+        nand_tree,
+        paper_benchmark_suite,
+        random_logic,
+    )
+
+    circuits = {
+        "inverter_chain(8)": inverter_chain(8),
+        "fanout_star(6)": fanout_star(6),
+        "nand_tree(4)": nand_tree(4),
+        "array_multiplier(4)": array_multiplier(4),
+        "alu(4)": alu(4),
+        "random_logic(60)": random_logic(
+            "self_check_random", n_inputs=8, n_gates=60, rng=seed
+        ),
+    }
+    for name, circuit in paper_benchmark_suite(scale=scale).items():
+        circuits[f"iscas_like({name!r}, scale={scale})"] = circuit
+
+    reports: list[LintReport] = []
+    for label, circuit in sorted(circuits.items()):
+        report = lint_circuit(circuit)
+        report.subject = label
+        reports.append(report)
+        roundtrip = lint_bench_text(
+            write_bench(circuit), name=f"{label} -> .bench round trip"
+        )
+        reports.append(roundtrip)
+    return reports
+
+
+def _print_rules() -> None:
+    for rule in RULES:
+        print(
+            f"{rule.code}  {rule.slug:24s} {rule.severity.value:8s} "
+            f"[{rule.scope}] {rule.description}"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Netlist lint diagnostics for .bench files and "
+        "built-in benchmark circuits.",
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path, help=".bench files to lint"
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="lint every built-in benchmark generator circuit "
+        "(plus .bench round trips)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="ISCAS-like circuit scale of the self-check (default 0.5)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=20050307,
+        help="seed of the self-check's random-logic circuit",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the merged structured report as JSON",
+    )
+    parser.add_argument(
+        "--werror",
+        action="store_true",
+        help="exit non-zero on warning findings too",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if not args.files and not args.self_check:
+        parser.error("nothing to lint: pass .bench files or --self-check")
+
+    reports: list[LintReport] = []
+    if args.self_check:
+        reports.extend(_self_check_reports(scale=args.scale, seed=args.seed))
+    for path in args.files:
+        reports.append(lint_bench_file(path))
+
+    merged = merge_reports("lint run", reports)
+    if not args.quiet:
+        for report in reports:
+            for diagnostic in report.diagnostics:
+                print(str(diagnostic))
+    print(
+        f"{len(reports)} subject(s) linted: {len(merged.errors)} error(s), "
+        f"{len(merged.warnings)} warning(s)"
+    )
+
+    if args.json is not None:
+        payload = merged.to_dict()
+        payload["subjects"] = [report.to_dict() for report in reports]
+        import json as _json
+
+        args.json.write_text(_json.dumps(payload, indent=2) + "\n")
+
+    if merged.errors or (args.werror and merged.warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

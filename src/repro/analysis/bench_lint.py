@@ -1,0 +1,71 @@
+"""Linting of ISCAS ``.bench`` netlist files.
+
+Wraps the strict :func:`repro.circuit.bench_io.parse_bench` reader: a parse
+failure becomes a single ``NL100`` diagnostic carrying the file and line
+number; a parseable file is then run through the full circuit-scope rule
+set of :func:`repro.analysis.lint_circuit`, with every diagnostic annotated
+with the source file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Location, Severity
+from repro.analysis.netlist_lint import lint_circuit
+from repro.circuit.bench_io import BenchFormatError, BenchParseError, parse_bench
+
+
+def lint_bench_text(text: str, name: str = "bench") -> LintReport:
+    """Lint ``.bench`` source text; parse failures become NL100 findings."""
+    try:
+        circuit = parse_bench(text, name=name)
+    except BenchFormatError as exc:
+        line_no = exc.line_no if isinstance(exc, BenchParseError) else None
+        report = LintReport(subject=name)
+        report.extend(
+            [
+                Diagnostic(
+                    rule="NL100",
+                    severity=Severity.ERROR,
+                    message=str(exc),
+                    location=Location(file=name, line=line_no),
+                    hint="fix the .bench syntax before structural linting",
+                )
+            ]
+        )
+        return report
+    report = lint_circuit(circuit)
+    report.subject = name
+    report.diagnostics = [
+        replace(d, location=replace(d.location, file=name))
+        for d in report.diagnostics
+    ]
+    return report
+
+
+def lint_bench_file(path: str | Path) -> LintReport:
+    """Lint a ``.bench`` file from disk.
+
+    An unreadable path is reported as an NL100 finding rather than raised,
+    so a multi-file CLI run keeps going and the exit code still reflects
+    the failure.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        report = LintReport(subject=str(path))
+        report.extend(
+            [
+                Diagnostic(
+                    rule="NL100",
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                    location=Location(file=str(path)),
+                )
+            ]
+        )
+        return report
+    return lint_bench_text(text, name=str(path))

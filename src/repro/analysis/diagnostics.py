@@ -1,0 +1,195 @@
+"""Structured lint diagnostics.
+
+Every finding of the static-analysis layer — netlist lint rules, ``.bench``
+parse problems, vector-set checks — is reported as a :class:`Diagnostic`: a
+stable rule code (``NL001`` ...), a severity, a human-readable message, an
+optional location (net / gate / file line) and a fix hint.  Structured
+records rather than strings are the point: the pre-flight policy decides
+raise-vs-warn per severity, the CLI renders text or JSON from the same
+objects, and CI archives them as machine-readable artifacts.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` findings make downstream numerics wrong or crash (an undriven
+    net has no logic value to propagate); ``WARNING`` findings are suspect
+    but computable (a zero-fanout gate still leaks, it just suggests a
+    mis-declared output); ``INFO`` is purely informational.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Return an integer rank (higher is more severe)."""
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points.
+
+    All fields are optional; a circuit-level finding names nets/gates, a
+    ``.bench`` finding names a file and line.
+    """
+
+    net: str | None = None
+    gate: str | None = None
+    file: str | None = None
+    line: int | None = None
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.file is not None:
+            parts.append(f"{self.file}:{self.line}" if self.line else self.file)
+        if self.gate is not None:
+            parts.append(f"gate {self.gate!r}")
+        if self.net is not None:
+            parts.append(f"net {self.net!r}")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule code (``NL001`` ...).  Codes are never reused or
+        renumbered; tooling may key on them.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable description of this specific instance.
+    location:
+        Optional :class:`Location` (net, gate, file:line).
+    hint:
+        Optional fix suggestion.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    hint: str | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        """Return a JSON-serializable representation."""
+        payload = asdict(self)
+        payload["severity"] = self.severity.value
+        payload["location"] = {
+            key: value
+            for key, value in asdict(self.location).items()
+            if value is not None
+        }
+        return payload
+
+    def __str__(self) -> str:
+        where = str(self.location)
+        prefix = f"{where}: " if where else ""
+        hint = f"  [{self.hint}]" if self.hint else ""
+        return f"{prefix}{self.rule} {self.severity.value}: {self.message}{hint}"
+
+
+@dataclass
+class LintReport:
+    """The diagnostics of one lint run over one subject.
+
+    Iterable and indexable like a sequence of :class:`Diagnostic`; exposes
+    severity filters and JSON/text rendering shared by the pre-flight hooks
+    and the CLI.
+    """
+
+    subject: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __getitem__(self, index: int) -> Diagnostic:
+        return self.diagnostics[index]
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append ``diagnostics`` to the report."""
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Return the error-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Return the warning-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """Return True when no error-severity diagnostics were found."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """Return True when no diagnostics at all were found."""
+        return not self.diagnostics
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        """Return the diagnostics carrying rule code ``rule``."""
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def rule_histogram(self) -> dict[str, int]:
+        """Return a mapping of rule code to finding count."""
+        histogram: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            histogram[diagnostic.rule] = histogram.get(diagnostic.rule, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def to_dict(self) -> dict[str, object]:
+        """Return a JSON-serializable representation."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "total": len(self.diagnostics),
+            },
+            "rules": self.rule_histogram(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Return the report as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        """Return the human-readable multi-line rendering used by the CLI."""
+        lines = [str(diagnostic) for diagnostic in self.diagnostics]
+        summary = (
+            f"{self.subject}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines + [summary])
+
+
+def merge_reports(subject: str, reports: Sequence[LintReport]) -> LintReport:
+    """Return one report aggregating several (CLI multi-file runs)."""
+    merged = LintReport(subject=subject)
+    for report in reports:
+        merged.extend(report.diagnostics)
+    return merged

@@ -1,0 +1,466 @@
+"""Netlist lint rules.
+
+Each rule couples a stable code (``NL001`` ...) with a severity and a check
+over a :class:`~repro.circuit.netlist.Circuit` (or, for the non-circuit
+scopes, a vector set or a flattened transistor netlist).  Codes are part of
+the public contract: they never change meaning, tooling and tests key on
+them, and :data:`RULES` is the single registry the CLI and the docs
+enumerate.
+
+Rule checks are deliberately independent of :meth:`Circuit.validate` — the
+linter must keep walking after the first problem and return *every* finding,
+which is what makes it usable as an API-edge pre-flight (reject a request
+with the full list of problems, not the first ``ValueError``).
+
+The checks only rely on circuit structure that exists even for malformed
+gates (``gate.inputs`` / ``gate.output`` / the driver index); anything that
+needs a :class:`~repro.gates.library.GateSpec` first confirms the gate type
+is known (rule ``NL005``), so one bad gate type cannot crash the other
+rules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.circuit.netlist import Circuit, Gate
+from repro.gates.library import GateSpec, GateType, gate_spec
+
+#: Scopes a rule can apply to.
+RULE_SCOPES = ("circuit", "vectors", "flattened", "bench")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule.
+
+    ``check`` is the circuit-scope callable (None for the scopes driven by
+    their own entry points: vector-set, flattened-netlist and ``.bench``
+    findings reuse the registry for code/severity metadata only).
+    """
+
+    code: str
+    slug: str
+    severity: Severity
+    scope: str
+    description: str
+    check: Callable[[Circuit], Iterator[Diagnostic]] | None = None
+
+
+def _known_spec(gate: Gate) -> GateSpec | None:
+    """Return the gate's spec, or None when its type is not in the library."""
+    try:
+        return gate_spec(gate.gate_type)
+    except (KeyError, AttributeError, TypeError):
+        return None
+
+
+def _driven_nets(circuit: Circuit) -> set[str]:
+    """Return every net with at least one driver (PI or gate output)."""
+    driven = set(circuit.primary_inputs)
+    driven.update(gate.output for gate in circuit.gates.values())
+    return driven
+
+
+def _receiver_counts(circuit: Circuit) -> dict[str, int]:
+    """Return, per net, how many gate input pins consume it.
+
+    Computed from ``gate.inputs`` directly (not the fanout index) so it
+    stays usable on circuits whose gate types are unknown to the library.
+    """
+    counts: dict[str, int] = {}
+    for gate in circuit.gates.values():
+        for net in gate.inputs:
+            counts[net] = counts.get(net, 0) + 1
+    return counts
+
+
+# --------------------------------------------------------------------- #
+# circuit-scope checks
+# --------------------------------------------------------------------- #
+def check_floating_nets(circuit: Circuit) -> Iterator[Diagnostic]:
+    """NL001: a consumed or exported net that nothing drives."""
+    driven = _driven_nets(circuit)
+    seen: set[str] = set()
+    for gate in circuit.gates.values():
+        for net in gate.inputs:
+            if net not in driven and net not in seen:
+                seen.add(net)
+                yield Diagnostic(
+                    rule="NL001",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"net {net!r} feeds gate {gate.name!r} but has no "
+                        "driver (not a primary input, not a gate output)"
+                    ),
+                    location=Location(net=net, gate=gate.name),
+                    hint="declare the net as INPUT or add the driving gate",
+                )
+    for net in circuit.primary_outputs:
+        if net not in driven and net not in seen:
+            seen.add(net)
+            yield Diagnostic(
+                rule="NL001",
+                severity=Severity.ERROR,
+                message=f"primary output {net!r} has no driver",
+                location=Location(net=net),
+                hint="declare the net as INPUT or add the driving gate",
+            )
+
+
+def check_multiply_driven_nets(circuit: Circuit) -> Iterator[Diagnostic]:
+    """NL002: a net with more than one driver (two gates, or gate + PI)."""
+    drivers: dict[str, list[str]] = {}
+    for gate in circuit.gates.values():
+        drivers.setdefault(gate.output, []).append(gate.name)
+    pi_set = set(circuit.primary_inputs)
+    for net in sorted(drivers):
+        names = drivers[net]
+        conflict = sorted(names)
+        if net in pi_set:
+            yield Diagnostic(
+                rule="NL002",
+                severity=Severity.ERROR,
+                message=(
+                    f"net {net!r} is a primary input but is also driven by "
+                    f"gate(s) {', '.join(repr(n) for n in conflict)}"
+                ),
+                location=Location(net=net, gate=conflict[0]),
+                hint="rename the gate output or drop the INPUT declaration",
+            )
+        elif len(names) > 1:
+            yield Diagnostic(
+                rule="NL002",
+                severity=Severity.ERROR,
+                message=(
+                    f"net {net!r} is driven by {len(names)} gates: "
+                    f"{', '.join(repr(n) for n in conflict)}"
+                ),
+                location=Location(net=net, gate=conflict[0]),
+                hint="every net must have exactly one driver",
+            )
+
+
+def check_combinational_loops(circuit: Circuit) -> Iterator[Diagnostic]:
+    """NL003: gates stuck in a combinational cycle.
+
+    One diagnostic per connected cluster of unresolved gates (Kahn's
+    algorithm leaves exactly the gates downstream-of-or-inside cycles
+    unordered; the cluster split keeps two independent loops as two
+    findings).
+    """
+    dependencies: dict[str, list[str]] = {}
+    for gate in circuit.gates.values():
+        preds = []
+        for net in gate.inputs:
+            driver = circuit.driver_of(net)
+            if driver is not None:
+                preds.append(driver)
+        dependencies[gate.name] = preds
+
+    indegree = {name: len(preds) for name, preds in dependencies.items()}
+    successors: dict[str, list[str]] = {name: [] for name in dependencies}
+    for name, preds in dependencies.items():
+        for pred in preds:
+            successors[pred].append(name)
+    ready = deque(name for name, degree in indegree.items() if degree == 0)
+    resolved: set[str] = set()
+    while ready:
+        name = ready.popleft()
+        resolved.add(name)
+        for succ in successors[name]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+
+    unresolved = set(dependencies) - resolved
+    while unresolved:
+        # Flood one undirected cluster of unresolved gates.
+        start = min(unresolved)
+        cluster = {start}
+        frontier = deque([start])
+        while frontier:
+            name = frontier.popleft()
+            for neighbour in dependencies[name] + successors[name]:
+                if neighbour in unresolved and neighbour not in cluster:
+                    cluster.add(neighbour)
+                    frontier.append(neighbour)
+        unresolved -= cluster
+        members = sorted(cluster)
+        shown = ", ".join(repr(name) for name in members[:10])
+        if len(members) > 10:
+            shown += f", ... ({len(members) - 10} more)"
+        yield Diagnostic(
+            rule="NL003",
+            severity=Severity.ERROR,
+            message=f"combinational cycle involving gate(s) {shown}",
+            location=Location(gate=members[0]),
+            hint="break the loop (combinational circuits must be acyclic)",
+        )
+
+
+def check_zero_fanout_gates(circuit: Circuit) -> Iterator[Diagnostic]:
+    """NL004: a gate whose output feeds nothing and is not a primary output."""
+    receivers = _receiver_counts(circuit)
+    po_set = set(circuit.primary_outputs)
+    for name in sorted(circuit.gates):
+        gate = circuit.gates[name]
+        if gate.output not in po_set and receivers.get(gate.output, 0) == 0:
+            yield Diagnostic(
+                rule="NL004",
+                severity=Severity.WARNING,
+                message=(
+                    f"gate {name!r} output net {gate.output!r} has no "
+                    "receivers and is not a primary output"
+                ),
+                location=Location(net=gate.output, gate=name),
+                hint="declare the net as OUTPUT or remove the dead gate",
+            )
+
+
+def check_unknown_gate_templates(circuit: Circuit) -> Iterator[Diagnostic]:
+    """NL005: a gate whose type has no library spec / transistor template."""
+    for name in sorted(circuit.gates):
+        gate = circuit.gates[name]
+        if _known_spec(gate) is None:
+            shown = getattr(gate.gate_type, "value", gate.gate_type)
+            yield Diagnostic(
+                rule="NL005",
+                severity=Severity.ERROR,
+                message=f"gate {name!r} has unknown gate type {shown!r}",
+                location=Location(gate=name),
+                hint=f"known types: {', '.join(t.value for t in GateType)}",
+            )
+
+
+def check_pin_arity(circuit: Circuit) -> Iterator[Diagnostic]:
+    """NL006: a gate wired to a different input count than its spec."""
+    for name in sorted(circuit.gates):
+        gate = circuit.gates[name]
+        spec = _known_spec(gate)
+        if spec is None:
+            continue  # NL005 already reports this gate.
+        if len(gate.inputs) != spec.num_inputs:
+            yield Diagnostic(
+                rule="NL006",
+                severity=Severity.ERROR,
+                message=(
+                    f"gate {name!r} ({spec.name}) expects "
+                    f"{spec.num_inputs} input(s), is wired to "
+                    f"{len(gate.inputs)}"
+                ),
+                location=Location(gate=name),
+                hint="match the connection list to the gate type's pins",
+            )
+
+
+def check_unreachable_logic(circuit: Circuit) -> Iterator[Diagnostic]:
+    """NL008: a gate no primary input can reach, with locally sound wiring.
+
+    Gates whose *own* inputs are undriven or cyclic already get NL001/NL003;
+    this rule flags the downstream collateral — gates that are wired
+    correctly but sit behind such a defect, i.e. have no input chain rooted
+    at a primary input.
+    """
+    driven = _driven_nets(circuit)
+    reachable_nets = set(circuit.primary_inputs)
+    reachable: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for gate in circuit.gates.values():
+            if gate.name in reachable:
+                continue
+            if all(net in reachable_nets for net in gate.inputs):
+                reachable.add(gate.name)
+                reachable_nets.add(gate.output)
+                changed = True
+
+    # Gates with a direct defect (undriven input, or membership in a cycle)
+    # are root causes, not collateral.
+    cyclic = _cyclic_gates(circuit)
+    for name in sorted(circuit.gates):
+        if name in reachable or name in cyclic:
+            continue
+        gate = circuit.gates[name]
+        if all(net in driven for net in gate.inputs):
+            yield Diagnostic(
+                rule="NL008",
+                severity=Severity.WARNING,
+                message=(
+                    f"gate {name!r} is unreachable from the primary inputs "
+                    "(an upstream net is undriven or cyclic)"
+                ),
+                location=Location(gate=name),
+                hint="fix the upstream defect; this gate is collateral",
+            )
+
+
+def _cyclic_gates(circuit: Circuit) -> set[str]:
+    """Return the names of gates left unresolved by Kahn's algorithm."""
+    dependencies: dict[str, list[str]] = {}
+    for gate in circuit.gates.values():
+        dependencies[gate.name] = [
+            driver
+            for net in gate.inputs
+            if (driver := circuit.driver_of(net)) is not None
+        ]
+    indegree = {name: len(preds) for name, preds in dependencies.items()}
+    successors: dict[str, list[str]] = {name: [] for name in dependencies}
+    for name, preds in dependencies.items():
+        for pred in preds:
+            successors[pred].append(name)
+    ready = deque(name for name, degree in indegree.items() if degree == 0)
+    resolved = 0
+    while ready:
+        name = ready.popleft()
+        resolved += 1
+        for succ in successors[name]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    return {name for name, degree in indegree.items() if degree > 0}
+
+
+# --------------------------------------------------------------------- #
+# vector-scope check (driven by lint_vectors, registered for metadata)
+# --------------------------------------------------------------------- #
+def vector_diagnostics(
+    circuit: Circuit, assignments: Sequence[Mapping[str, object]]
+) -> Iterator[Diagnostic]:
+    """NL007: an input assignment that does not match the primary inputs.
+
+    Flags missing primary inputs, extra (non-PI) nets and non-0/1 values;
+    one diagnostic per offending vector, naming the vector index.
+    """
+    pi_list = list(circuit.primary_inputs)
+    pi_set = set(pi_list)
+    for index, assignment in enumerate(assignments):
+        problems: list[str] = []
+        missing = [pi for pi in pi_list if pi not in assignment]
+        if missing:
+            problems.append(f"missing inputs {missing[:5]}")
+        extra = sorted(net for net in assignment if net not in pi_set)
+        if extra:
+            problems.append(f"non-primary-input nets {extra[:5]}")
+        bad_values = sorted(
+            str(net)
+            for net, value in assignment.items()
+            if net in pi_set and value not in (0, 1, False, True)
+        )
+        if bad_values:
+            problems.append(f"non-binary values on {bad_values[:5]}")
+        if problems:
+            yield Diagnostic(
+                rule="NL007",
+                severity=Severity.ERROR,
+                message=(
+                    f"vector #{index} does not match the circuit's "
+                    f"{len(pi_list)} primary input(s): {'; '.join(problems)}"
+                ),
+                location=Location(),
+                hint="each vector must assign 0/1 to every primary input",
+            )
+
+
+#: The rule registry, ordered by code.  ``check`` is set for the
+#: circuit-scope rules that :func:`repro.analysis.lint_circuit` runs.
+RULES: tuple[Rule, ...] = (
+    Rule(
+        code="NL001",
+        slug="floating-net",
+        severity=Severity.ERROR,
+        scope="circuit",
+        description="A consumed or exported net has no driver.",
+        check=check_floating_nets,
+    ),
+    Rule(
+        code="NL002",
+        slug="multiply-driven-net",
+        severity=Severity.ERROR,
+        scope="circuit",
+        description="A net has more than one driver (two gates, or gate + PI).",
+        check=check_multiply_driven_nets,
+    ),
+    Rule(
+        code="NL003",
+        slug="combinational-loop",
+        severity=Severity.ERROR,
+        scope="circuit",
+        description="Gates form a combinational cycle.",
+        check=check_combinational_loops,
+    ),
+    Rule(
+        code="NL004",
+        slug="zero-fanout-gate",
+        severity=Severity.WARNING,
+        scope="circuit",
+        description="A gate output feeds nothing and is not a primary output.",
+        check=check_zero_fanout_gates,
+    ),
+    Rule(
+        code="NL005",
+        slug="unknown-gate-template",
+        severity=Severity.ERROR,
+        scope="circuit",
+        description="A gate's type has no library spec / transistor template.",
+        check=check_unknown_gate_templates,
+    ),
+    Rule(
+        code="NL006",
+        slug="pin-arity-mismatch",
+        severity=Severity.ERROR,
+        scope="circuit",
+        description="A gate is wired to a different input count than its spec.",
+        check=check_pin_arity,
+    ),
+    Rule(
+        code="NL007",
+        slug="vector-width-mismatch",
+        severity=Severity.ERROR,
+        scope="vectors",
+        description=(
+            "An input assignment misses primary inputs, names extra nets or "
+            "carries non-binary values."
+        ),
+    ),
+    Rule(
+        code="NL008",
+        slug="unreachable-logic",
+        severity=Severity.WARNING,
+        scope="circuit",
+        description=(
+            "A correctly wired gate sits behind an undriven/cyclic defect "
+            "and is unreachable from the primary inputs."
+        ),
+        check=check_unreachable_logic,
+    ),
+    Rule(
+        code="NL009",
+        slug="dangling-node",
+        severity=Severity.WARNING,
+        scope="flattened",
+        description=(
+            "A free node of the flattened transistor netlist is attached to "
+            "fewer than two device terminals."
+        ),
+    ),
+    Rule(
+        code="NL100",
+        slug="bench-parse-error",
+        severity=Severity.ERROR,
+        scope="bench",
+        description="A .bench file line cannot be parsed into the netlist.",
+    ),
+)
+
+#: Rule lookup by code.
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in RULES}
+
+#: The circuit-scope rules, in registry order.
+CIRCUIT_RULES: tuple[Rule, ...] = tuple(
+    rule for rule in RULES if rule.scope == "circuit"
+)

@@ -62,6 +62,22 @@ class BenchFormatError(ValueError):
     """Raised when a ``.bench`` file cannot be parsed."""
 
 
+class BenchParseError(BenchFormatError):
+    """A ``.bench`` parse failure that names the offending line.
+
+    Attributes
+    ----------
+    line_no:
+        1-based line number of the offending line (None when the problem is
+        not attributable to one line).
+    """
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+
+
 def _decompose_wide(
     circuit: Circuit,
     family: str,
@@ -128,12 +144,22 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
 
     D flip-flops are cut: ``Q = DFF(D)`` declares ``Q`` as a pseudo primary
     input and ``D`` as a pseudo primary output.
+
+    Malformed input raises :class:`BenchParseError` naming the offending
+    line: unparseable lines, unknown primitives, bad arities, duplicate
+    signal definitions (two gates driving one signal, or a driven signal
+    also declared ``INPUT``) and undefined signals (a gate input or declared
+    ``OUTPUT`` that no line defines) are all caught here rather than
+    surfacing later as a bare ``KeyError`` inside logic propagation.
     """
     circuit = Circuit(name=name)
-    declared_outputs: list[str] = []
-    gate_lines: list[tuple[str, str, list[str]]] = []
+    declared_outputs: list[tuple[str, int]] = []
+    gate_lines: list[tuple[str, str, list[str], int]] = []
+    #: signal -> line number that defines it (INPUT decl, gate output, or
+    #: flop output); the duplicate/undefined checks key on this.
+    defined_at: dict[str, int] = {}
 
-    for raw_line in text.splitlines():
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
         if not line:
             continue
@@ -141,58 +167,103 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
         if io_match:
             net = io_match.group("net")
             if io_match.group("kind").upper() == "INPUT":
+                if net in defined_at:
+                    raise BenchParseError(
+                        f"signal {net!r} already defined at line "
+                        f"{defined_at[net]}; INPUT would redefine it",
+                        line_no=line_no,
+                    )
+                defined_at[net] = line_no
                 circuit.add_input(net)
             else:
-                declared_outputs.append(net)
+                declared_outputs.append((net, line_no))
             continue
         line_match = _LINE_RE.match(line)
         if not line_match:
-            raise BenchFormatError(f"cannot parse line: {raw_line!r}")
+            raise BenchParseError(
+                f"cannot parse line: {raw_line.strip()!r}", line_no=line_no
+            )
         output = line_match.group("output")
         primitive = line_match.group("prim").upper()
         inputs = [token.strip() for token in line_match.group("inputs").split(",")]
         inputs = [token for token in inputs if token]
-        gate_lines.append((output, primitive, inputs))
+        if output in defined_at:
+            raise BenchParseError(
+                f"duplicate definition of signal {output!r} "
+                f"(first defined at line {defined_at[output]})",
+                line_no=line_no,
+            )
+        defined_at[output] = line_no
+        gate_lines.append((output, primitive, inputs, line_no))
+
+    # Every consumed or exported signal must be defined somewhere in the
+    # file (definitions may appear after uses, so this runs post-scan).
+    for output, primitive, inputs, line_no in gate_lines:
+        for token in inputs:
+            if token not in defined_at:
+                raise BenchParseError(
+                    f"gate {output!r} uses undefined signal {token!r}",
+                    line_no=line_no,
+                )
+    for net, line_no in declared_outputs:
+        if net not in defined_at:
+            raise BenchParseError(
+                f"OUTPUT declares undefined signal {net!r}", line_no=line_no
+            )
 
     counter = [0]
-    flop_index = 0
-    for output, primitive, inputs in gate_lines:
+    for output, primitive, inputs, line_no in gate_lines:
         if primitive in ("DFF", "DFFSR", "FF"):
             if len(inputs) < 1:
-                raise BenchFormatError(f"flip-flop {output!r} has no data input")
-            flop_index += 1
+                raise BenchParseError(
+                    f"flip-flop {output!r} has no data input", line_no=line_no
+                )
             circuit.add_input(output)
             circuit.add_output(inputs[0])
             continue
         family = _FAMILY_BY_PRIMITIVE.get(primitive)
         if family is None:
-            raise BenchFormatError(f"unsupported primitive {primitive!r}")
-        expected_types = _FAMILY_TYPES[family]
+            raise BenchParseError(
+                f"unsupported primitive {primitive!r}", line_no=line_no
+            )
         arity = len(inputs)
-        if arity in expected_types:
-            circuit.add_gate(
-                name=f"{output}__g",
-                gate_type=expected_types[arity],
-                inputs=inputs,
-                output=output,
+        if arity == 0:
+            raise BenchParseError(
+                f"{primitive} gate {output!r} has no inputs", line_no=line_no
             )
-        elif family in ("inv", "buf"):
-            raise BenchFormatError(
-                f"{primitive} gate {output!r} must have exactly one input"
-            )
-        elif arity == 1:
-            # Single-input AND/OR/NAND/NOR degenerate to BUF/INV.
-            degenerate = GateType.BUF if family in ("and", "or") else GateType.INV
-            circuit.add_gate(
-                name=f"{output}__g",
-                gate_type=degenerate,
-                inputs=inputs,
-                output=output,
-            )
-        else:
-            _decompose_wide(circuit, family, output, inputs, counter)
+        expected_types = _FAMILY_TYPES[family]
+        try:
+            if arity in expected_types:
+                circuit.add_gate(
+                    name=f"{output}__g",
+                    gate_type=expected_types[arity],
+                    inputs=inputs,
+                    output=output,
+                )
+            elif family in ("inv", "buf"):
+                raise BenchParseError(
+                    f"{primitive} gate {output!r} must have exactly one input",
+                    line_no=line_no,
+                )
+            elif arity == 1:
+                # Single-input AND/OR/NAND/NOR degenerate to BUF/INV.
+                degenerate = GateType.BUF if family in ("and", "or") else GateType.INV
+                circuit.add_gate(
+                    name=f"{output}__g",
+                    gate_type=degenerate,
+                    inputs=inputs,
+                    output=output,
+                )
+            else:
+                _decompose_wide(circuit, family, output, inputs, counter)
+        except BenchParseError:
+            raise
+        except ValueError as exc:
+            # The pre-scan catches duplicates/undefined signals; anything
+            # the Circuit still rejects is surfaced with the line context.
+            raise BenchParseError(str(exc), line_no=line_no) from exc
 
-    for net in declared_outputs:
+    for net, _ in declared_outputs:
         circuit.add_output(net)
     circuit.validate()
     return circuit

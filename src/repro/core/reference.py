@@ -81,12 +81,22 @@ class ReferenceSimulator:
         technology: TechnologyParams,
         temperature_k: float | None = None,
         solver_options: SolverOptions | None = None,
+        lint: str = "raise",
     ) -> None:
         self.technology = technology
         self.temperature_k = (
             technology.temperature_k if temperature_k is None else float(temperature_k)
         )
         self.solver_options = solver_options or SolverOptions()
+        #: Netlist pre-flight policy ("raise" | "warn" | "off"); applied
+        #: before every flatten so a malformed circuit is rejected with the
+        #: full finding list instead of 30 s into a DC solve.
+        self.lint = lint
+
+    def _preflight(self, circuit: Circuit) -> None:
+        from repro.analysis import preflight_circuit
+
+        preflight_circuit(circuit, lint=self.lint)
 
     # ------------------------------------------------------------------ #
     # scalar oracle path
@@ -95,6 +105,7 @@ class ReferenceSimulator:
         self, circuit: Circuit, input_assignment: dict[str, int]
     ) -> CircuitLeakageReport:
         """Return the reference leakage report for one input assignment."""
+        self._preflight(circuit)
         start = time.perf_counter()
         flattened = flatten(circuit, self.technology, input_assignment)
         solver = DcSolver(flattened.netlist, self.temperature_k, self.solver_options)
@@ -155,6 +166,7 @@ class ReferenceSimulator:
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        self._preflight(circuit)
         assignments = list(assignments)
         reports: list[CircuitLeakageReport] = []
         for lo in range(0, len(assignments), chunk_size):
@@ -236,6 +248,7 @@ def run_reference_campaign(
     solver_options: SolverOptions | None = None,
     engine: str = "batched",
     chunk_size: int = DEFAULT_REFERENCE_CHUNK_SIZE,
+    lint: str = "raise",
 ) -> VectorCampaignResult:
     """Run the transistor-level reference solve over a whole vector set.
 
@@ -256,6 +269,9 @@ def run_reference_campaign(
     chunk_size:
         Memory bound of the batched engine; has no effect on the results
         (chunking is bitwise-neutral) nor on the scalar engine.
+    lint:
+        Netlist pre-flight policy (``"raise"`` | ``"warn"`` | ``"off"``),
+        forwarded to :class:`ReferenceSimulator`.
 
     For process-level parallelism over chunks see
     :class:`repro.engine.parallel.ParallelReferenceCampaign`, which returns
@@ -271,7 +287,7 @@ def run_reference_campaign(
         # Same loud failure as ParallelReferenceCampaign.run: an empty
         # campaign would only surface later as NaN means.
         raise ValueError("no vectors to evaluate")
-    simulator = ReferenceSimulator(technology, temperature_k, solver_options)
+    simulator = ReferenceSimulator(technology, temperature_k, solver_options, lint=lint)
     if engine == "batched":
         reports = simulator.estimate_batch(circuit, vectors, chunk_size=chunk_size)
     else:

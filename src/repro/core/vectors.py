@@ -145,6 +145,7 @@ def run_vector_campaign(
     count: int = 100,
     rng: RngLike = None,
     engine: str = "auto",
+    lint: str = "raise",
 ) -> VectorCampaignResult:
     """Run ``estimator`` over a vector set and collect the reports.
 
@@ -158,12 +159,26 @@ def run_vector_campaign(
         ``"auto"`` routes library-backed estimators through the batched
         engine; ``"batched"`` requires it; ``"scalar"`` forces the
         per-vector scalar path (the cross-check oracle).
+    lint:
+        Netlist pre-flight policy (:func:`repro.analysis.preflight_circuit`).
+        Under the default ``"raise"`` a malformed circuit — or an explicit
+        vector set whose assignments do not match the primary inputs
+        (``NL007``) — is rejected up front with the full structured finding
+        list; ``"warn"`` downgrades to warnings, ``"off"`` skips the check.
     """
+    from repro.analysis import preflight_circuit
+
     use_batched = _check_engine_mode(engine, estimator)
+    explicit_vectors = vectors is not None
     if vectors is None:
         vectors = list(random_vectors(circuit, count, rng))
     else:
         vectors = list(vectors)
+    # Internally drawn vectors are correct by construction; only explicit
+    # caller-supplied sets are width-checked.
+    preflight_circuit(
+        circuit, lint=lint, vectors=vectors if explicit_vectors else None
+    )
     if vectors and use_batched:
         return _run_batched_campaign(estimator, circuit, vectors)
     reports = [estimator.estimate(circuit, vector) for vector in vectors]
@@ -253,6 +268,7 @@ def minimum_leakage_vector(
     strategy_options=None,
     islands: int = 1,
     max_workers: int | None = None,
+    lint: str = "raise",
 ) -> tuple[dict[str, int], float]:
     """Return the input vector with the lowest estimated total leakage.
 
@@ -287,6 +303,9 @@ def minimum_leakage_vector(
         :class:`~repro.optimize.GeneticOptions`), the island split, the
         process-pool width (results are bitwise worker-count independent)
         and the root seed.
+    lint:
+        Netlist pre-flight policy (``"raise"`` | ``"warn"`` | ``"off"``);
+        explicit ``vectors=`` sets are additionally width-checked (NL007).
 
     Returns the (assignment, total leakage in amperes) pair.  The paper notes
     that the winning vector can differ between loading-aware and no-loading
@@ -295,6 +314,9 @@ def minimum_leakage_vector(
     per-island outcomes) should call
     :func:`repro.optimize.minimize_leakage` directly.
     """
+    from repro.analysis import preflight_circuit, preflight_vectors
+
+    preflight_circuit(circuit, lint=lint)
     if strategy is not None:
         from repro.optimize import (
             MAX_EXHAUSTIVE_INPUTS,
@@ -378,6 +400,7 @@ def minimum_leakage_vector(
         # Materialize up front: a one-shot iterator that was already consumed
         # would otherwise surface as a confusing "no vectors were evaluated".
         candidates = list(vectors)
+        preflight_vectors(circuit, candidates, lint=lint)
     else:
         candidates = list(random_vectors(circuit, count, rng))
 

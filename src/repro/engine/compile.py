@@ -159,7 +159,17 @@ class CompiledCircuit:
     consumes the arrays assembled here.
     """
 
-    def __init__(self, circuit: Circuit, library: GateLibrary) -> None:
+    def __init__(
+        self, circuit: Circuit, library: GateLibrary, lint: str = "raise"
+    ) -> None:
+        # Pre-flight: reject a malformed circuit (floating nets, cycles,
+        # arity mismatches, ...) with the full structured finding list
+        # before any table is built or solver touched.  ``lint="warn"``
+        # downgrades to warnings, ``lint="off"`` restores the bare
+        # ``validate()`` behavior.
+        from repro.analysis import preflight_circuit
+
+        preflight_circuit(circuit, lint=lint)
         circuit.validate()
         self.circuit = circuit
         self.vdd = library.vdd
@@ -323,7 +333,7 @@ _COMPILE_CACHE = weakref.WeakKeyDictionary()
 
 
 def compile_circuit(
-    circuit: Circuit, library: GateLibrary, cache: bool = True
+    circuit: Circuit, library: GateLibrary, cache: bool = True, lint: str = "raise"
 ) -> CompiledCircuit:
     """Return the (cached) :class:`CompiledCircuit` for ``(circuit, library)``.
 
@@ -333,9 +343,17 @@ def compile_circuit(
     circuit — the one-time "characterize once, answer campaigns as lookups"
     cost.  Pass ``cache=False`` to force a fresh compile (e.g. after
     mutating a library's records in place).
+
+    ``lint`` is the netlist pre-flight policy
+    (:func:`repro.analysis.preflight_circuit`): ``"raise"`` (default)
+    rejects malformed circuits with a structured
+    :class:`~repro.analysis.NetlistLintError` before any compilation work,
+    ``"warn"`` downgrades findings to warnings, ``"off"`` skips linting.
+    The pre-flight runs when a circuit is actually compiled; a cache hit
+    returns the previously linted instance as-is.
     """
     if not cache:
-        return CompiledCircuit(circuit, library)
+        return CompiledCircuit(circuit, library, lint=lint)
     per_library = _COMPILE_CACHE.get(library)
     if per_library is None:
         per_library = {}
@@ -343,7 +361,7 @@ def compile_circuit(
     key = _fingerprint(circuit)
     compiled = per_library.get(key)
     if compiled is None:
-        compiled = CompiledCircuit(circuit, library)
+        compiled = CompiledCircuit(circuit, library, lint=lint)
         per_library[key] = compiled
     return compiled
 

@@ -35,7 +35,7 @@ from repro.spice.analysis import ComponentBreakdown
 CACHE_FORMAT_VERSION = 2
 
 
-def _canonical(value):
+def _canonical(value: object) -> object:
     """Convert nested dataclasses/enums/tuples to canonical JSON-able types."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {

@@ -43,7 +43,7 @@ from repro.spice.analysis import (
     gate_injection_at_node,
     leakage_by_owner,
 )
-from repro.spice.batched import BatchedDcSolver
+from repro.spice.batched import BatchedDcSolver, BatchedOperatingPoint
 from repro.spice.netlist import TransistorNetlist
 from repro.spice.solver import DcSolver, OperatingPoint, SolverOptions
 
@@ -472,7 +472,7 @@ class GateCharacterizer:
         stats["iterations"] += int(op.sweeps)
         stats["max_iterations"] = max(stats["max_iterations"], int(op.sweeps))
 
-    def _record_batched_solve(self, op) -> None:
+    def _record_batched_solve(self, op: BatchedOperatingPoint) -> None:
         stats = self.solve_stats
         stats["solves"] += int(op.batch)
         stats["iterations"] += int(op.sweeps.sum())
@@ -491,7 +491,7 @@ class GateCharacterizer:
     def _check_batched_convergence(
         self,
         spec: GateSpec,
-        op,
+        op: BatchedOperatingPoint,
         describe: Callable[[int], str],
     ) -> None:
         """Check a batched solve's per-column convergence flags.

@@ -36,6 +36,12 @@ class LeakageObjective:
     chunk_size:
         Peak-memory bound forwarded to :func:`run_totals`; never changes
         results (totals are bitwise chunking-independent).
+    lint:
+        Netlist pre-flight policy (:func:`repro.analysis.preflight_circuit`)
+        applied to the compiled circuit at construction.  Compiled circuits
+        are normally linted at compile time already; the knob exists so an
+        objective built around a hand-assembled or cache-restored
+        :class:`CompiledCircuit` gets the same edge check (``"off"`` skips).
     """
 
     def __init__(
@@ -43,7 +49,11 @@ class LeakageObjective:
         compiled: CompiledCircuit,
         include_loading: bool = True,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lint: str = "raise",
     ) -> None:
+        from repro.analysis import preflight_circuit
+
+        preflight_circuit(compiled.circuit, lint=lint)
         self.compiled = compiled
         self.include_loading = include_loading
         self.chunk_size = chunk_size

@@ -9,6 +9,7 @@ DC solver never sees an overflow or a kink.
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import numpy as np
 
@@ -144,7 +145,7 @@ def percent_difference(value: float, reference: float) -> float:
     return 100.0 * relative_difference(value, reference)
 
 
-def interp_linear(x: float, xs, ys) -> float:
+def interp_linear(x: float, xs: Sequence[float], ys: Sequence[float]) -> float:
     """Piecewise-linear interpolation with flat extrapolation at the ends.
 
     ``xs`` must be strictly increasing.  Flat (clamped) extrapolation is the

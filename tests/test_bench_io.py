@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.circuit.bench_io import BenchFormatError, parse_bench, read_bench, write_bench
+from repro.circuit.bench_io import (
+    BenchFormatError,
+    BenchParseError,
+    parse_bench,
+    read_bench,
+    write_bench,
+)
 from repro.circuit.generators import nand_tree
 from repro.circuit.logic import propagate, random_vectors
 from repro.gates.library import GateType
@@ -116,3 +122,64 @@ class TestWriting:
                 propagate(parsed, assignment)["y"]
                 == propagate(circuit, assignment)["y"]
             )
+
+
+class TestParseErrorPaths:
+    """Malformed .bench input must fail with a line-numbered parse error,
+    not a later KeyError deep inside propagation or flattening."""
+
+    def test_parse_error_is_a_format_error(self):
+        assert issubclass(BenchParseError, BenchFormatError)
+
+    def test_undefined_gate_input_named_with_line(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NAND(a, phantom)\n"
+        with pytest.raises(BenchParseError, match="undefined signal 'phantom'") as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 3
+
+    def test_undefined_output_named_with_line(self):
+        text = "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n"
+        with pytest.raises(BenchParseError, match="undefined signal 'ghost'") as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 2
+
+    def test_duplicate_gate_definition_names_both_lines(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"
+        with pytest.raises(BenchParseError, match="duplicate definition") as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 4
+        assert "line 3" in str(excinfo.value)
+
+    def test_gate_redefining_an_input_rejected(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(b)\nb = NOT(a)\n"
+        with pytest.raises(BenchParseError, match="duplicate definition") as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 4
+
+    def test_duplicate_input_declaration_rejected(self):
+        text = "INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+        with pytest.raises(BenchParseError, match="already defined") as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 2
+
+    def test_zero_arity_gate_rejected(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NAND()\n"
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 3
+
+    def test_unknown_primitive_carries_line_number(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n"
+        with pytest.raises(BenchParseError, match="unsupported") as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 3
+
+    def test_garbage_line_carries_line_number(self):
+        text = "INPUT(a)\n\n# comment\nthis is not bench\n"
+        with pytest.raises(BenchParseError, match="cannot parse") as excinfo:
+            parse_bench(text)
+        assert excinfo.value.line_no == 4
+
+    def test_error_message_renders_line_prefix(self):
+        with pytest.raises(BenchParseError, match=r"^line 3: "):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a)\n")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Run the repository contract checkers over a source tree.
+
+Usage::
+
+    python tools/lint/check_contracts.py [PATHS...] [--json REPORT] [--list]
+
+With no paths the repository's ``src`` tree is checked.  Exit status is 0
+when no contract is violated, 1 otherwise (2 for usage errors), so the CI
+lint job can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(_REPO_ROOT / "tools"))
+
+from lint.contracts import CHECKERS, check_tree  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_contracts",
+        description="Check repository coding contracts (RC1xx rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[str(_REPO_ROOT / "src")],
+        help="files or directories to check (default: the repo src tree)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the violations as a JSON report",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered checkers and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-violation output (exit status only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in CHECKERS:
+            print(f"{spec.code}  {spec.slug}: {spec.description}")
+        return 0
+
+    violations = check_tree(args.paths)
+
+    if args.json:
+        report = {
+            "subject": [str(path) for path in args.paths],
+            "checkers": [
+                {"code": spec.code, "slug": spec.slug, "description": spec.description}
+                for spec in CHECKERS
+            ],
+            "violations": [violation.to_dict() for violation in violations],
+            "ok": not violations,
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+
+    if not args.quiet:
+        for violation in violations:
+            print(violation)
+        n_files = sum(
+            len(sorted(Path(p).rglob("*.py"))) if Path(p).is_dir() else 1
+            for p in args.paths
+        )
+        status = "clean" if not violations else f"{len(violations)} violation(s)"
+        print(f"checked {n_files} file(s): {status}")
+
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
