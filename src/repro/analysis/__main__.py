@@ -44,6 +44,8 @@ def _self_check_reports(scale: float, seed: int) -> list[LintReport]:
         array_multiplier,
         fanout_star,
         inverter_chain,
+        iscas_like,
+        layered_logic,
         nand_tree,
         paper_benchmark_suite,
         random_logic,
@@ -58,6 +60,10 @@ def _self_check_reports(scale: float, seed: int) -> list[LintReport]:
         "random_logic(60)": random_logic(
             "self_check_random", n_inputs=8, n_gates=60, rng=seed
         ),
+        "layered_logic(60)": layered_logic(
+            "self_check_layered", n_inputs=8, n_gates=60, rng=seed
+        ),
+        "iscas_like(240)": iscas_like(240),
     }
     for name, circuit in paper_benchmark_suite(scale=scale).items():
         circuits[f"iscas_like({name!r}, scale={scale})"] = circuit

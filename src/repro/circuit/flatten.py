@@ -28,7 +28,7 @@ import numpy as np
 from repro.circuit.logic import propagate
 from repro.circuit.netlist import Circuit
 from repro.device.params import TechnologyParams
-from repro.gates.templates import build_gate_transistors
+from repro.gates.templates import build_gate_transistors, internal_seed_levels
 from repro.spice.netlist import Node, TransistorNetlist
 
 
@@ -66,10 +66,14 @@ class FlattenedCircuit:
         """Return rail-based initial guesses for every free node.
 
         Circuit nets start at the rail implied by their logic value.  Gate
-        internal nodes start at their gate's *output* rail: for a series
-        stack hanging off a driven output this is within millivolts of the
-        converged answer, which is what keeps the Gauss–Seidel reference
-        solve down to a handful of sweeps.
+        internal nodes start at the rail their template actually settles
+        them at (:func:`~repro.gates.templates.internal_seed_levels`): a
+        series-stack node follows whichever end it conducts to, and the
+        internal stage of a two-stage gate (BUF, AND*, OR*) sits at the
+        *complement* of the output.  Seeding every internal node at the
+        output rail — the old behaviour — leaves wrong-rail stage nodes
+        with mA-scale residuals that the damped Newton solver grinds on
+        for dozens of iterations at large circuit sizes.
         """
         vdd = self.netlist.vdd
         guesses = {
@@ -78,9 +82,17 @@ class FlattenedCircuit:
             if not self.circuit.is_primary_input(net)
         }
         for gate_name, nodes in self.internal_nodes.items():
-            output_value = self.net_values[self.circuit.gates[gate_name].output]
+            gate = self.circuit.gates[gate_name]
+            levels = internal_seed_levels(
+                gate.gate_type,
+                [self.net_values[net] for net in gate.inputs],
+                self.net_values[gate.output],
+            )
+            prefix = len(gate_name) + 1
             for node in nodes:
-                guesses[node] = vdd * output_value
+                # A KeyError here means the template created a node its
+                # seed table does not know — fail loudly, not silently.
+                guesses[node] = vdd * levels[node[prefix:]]
         return guesses
 
 
@@ -192,12 +204,21 @@ class BatchedFlattenedCircuit:
                 [values[net] for values in self.net_values], dtype=float
             )
         for gate_name, nodes in self.internal_nodes.items():
-            output = self.circuit.gates[gate_name].output
-            seed = vdd * np.array(
-                [values[output] for values in self.net_values], dtype=float
-            )
+            gate = self.circuit.gates[gate_name]
+            per_vector = [
+                internal_seed_levels(
+                    gate.gate_type,
+                    [values[net] for net in gate.inputs],
+                    values[gate.output],
+                )
+                for values in self.net_values
+            ]
+            prefix = len(gate_name) + 1
             for node in nodes:
-                guesses[node] = seed
+                label = node[prefix:]
+                guesses[node] = vdd * np.array(
+                    [levels[label] for levels in per_vector], dtype=float
+                )
         return guesses
 
     def netlist_views(self) -> list[TransistorNetlist]:

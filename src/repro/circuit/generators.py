@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.circuit.netlist import Circuit
 from repro.gates.library import GateType, gate_spec
 from repro.utils.rng import RngLike, ensure_rng
@@ -392,6 +394,120 @@ def random_logic(
     return circuit
 
 
+def layered_logic(
+    name: str,
+    n_inputs: int,
+    n_gates: int,
+    rng: RngLike = None,
+    n_layers: int | None = None,
+    gate_mix: dict[GateType, float] | None = None,
+    skip_fraction: float = 0.25,
+) -> Circuit:
+    """Return a random layered-DAG combinational circuit.
+
+    Where :func:`random_logic` draws gate inputs from a rolling recency
+    window (good at a few hundred gates, but degenerating into one long
+    chain-like region as the window slides), this generator fixes the
+    *levelized* structure real benchmark netlists have: primary inputs form
+    layer 0, gates are spread evenly over ``n_layers`` explicit layers, and
+    every gate draws its first input from the immediately preceding layer
+    (pinning its logic depth) with each further input taken from an earlier
+    layer with probability ``skip_fraction`` — the skip connections that
+    give real circuits their fanout-variance profile.  The construction is
+    lint-clean by design: every net has exactly one driver (NL002), gates
+    only read already-driven nets of earlier layers (NL001, NL003, NL008),
+    and nets with no receivers become the primary outputs (NL004).
+
+    Parameters
+    ----------
+    name:
+        Circuit name.
+    n_inputs:
+        Number of primary inputs (layer 0).
+    n_gates:
+        Number of gate instances, spread evenly across the layers.
+    rng:
+        Seed or generator controlling every random choice.
+    n_layers:
+        Number of gate layers (the logic depth); defaults to a realistic
+        ``O(log n_gates)`` depth.
+    gate_mix:
+        Relative weights per gate type (defaults to :data:`DEFAULT_GATE_MIX`).
+    skip_fraction:
+        Probability that a non-first gate input skips past the preceding
+        layer to a uniformly drawn earlier net.
+    """
+    if n_inputs < 4:
+        raise ValueError("n_inputs must be at least 4")
+    if n_gates < 1:
+        raise ValueError("n_gates must be at least 1")
+    if not 0.0 <= skip_fraction <= 1.0:
+        raise ValueError("skip_fraction must be in [0, 1]")
+    if n_layers is None:
+        n_layers = max(4, int(round(2.0 * float(np.log2(n_gates + 1)))))
+    if n_layers < 1:
+        raise ValueError("n_layers must be at least 1")
+    n_layers = min(n_layers, n_gates)
+
+    generator = ensure_rng(rng)
+    mix = gate_mix or DEFAULT_GATE_MIX
+    gate_types = list(mix)
+    weights = [float(mix[t]) for t in gate_types]
+    total_weight = sum(weights)
+    probabilities = [w / total_weight for w in weights]
+
+    circuit = Circuit(name=name)
+    previous = [circuit.add_input(f"pi{i}") for i in range(n_inputs)]
+    earlier: list[str] = []  # all nets strictly before ``previous``
+    all_nets: list[str] = list(previous)
+
+    base, extra = divmod(n_gates, n_layers)
+    index = 0
+    for layer in range(n_layers):
+        layer_size = base + (1 if layer < extra else 0)
+        current: list[str] = []
+        for _ in range(layer_size):
+            choice = generator.choice(len(gate_types), p=probabilities)
+            gate_type = gate_types[int(choice)]
+            arity = gate_spec(gate_type).num_inputs
+            # First input from the preceding layer pins the gate's depth;
+            # the rest skip to an earlier layer with skip_fraction.
+            n_skip = (
+                int(np.sum(generator.random(arity - 1) < skip_fraction))
+                if arity > 1 and earlier
+                else 0
+            )
+            n_prev = arity - n_skip
+            if n_prev > len(previous):
+                n_skip += n_prev - len(previous)
+                n_prev = len(previous)
+            inputs: list[str] = []
+            picks = generator.choice(
+                len(previous), size=n_prev, replace=len(previous) < n_prev
+            )
+            inputs.extend(previous[int(p)] for p in picks)
+            if n_skip:
+                picks = generator.choice(
+                    len(earlier), size=n_skip, replace=len(earlier) < n_skip
+                )
+                inputs.extend(earlier[int(p)] for p in picks)
+            output = f"{name}_n{index}"
+            circuit.add_gate(f"{name}_g{index}", gate_type, inputs, output)
+            current.append(output)
+            index += 1
+        earlier.extend(previous)
+        all_nets.extend(current)
+        previous = current
+
+    for net in all_nets:
+        if not circuit.fanout_of(net) and not circuit.is_primary_input(net):
+            circuit.add_output(net)
+    if not circuit.primary_outputs:
+        circuit.add_output(all_nets[-1])
+    circuit.validate()
+    return circuit
+
+
 @dataclass(frozen=True)
 class IscasProfile:
     """Published size profile of one benchmark circuit."""
@@ -418,30 +534,54 @@ ISCAS_PROFILES: dict[str, IscasProfile] = {
 _ISCAS_ALIASES = {"s5378": "s5372", "s9234": "s9378"}
 
 
-def iscas_like(name: str, scale: float = 1.0, rng: RngLike = None) -> Circuit:
-    """Return a synthetic circuit sized like the named ISCAS89 benchmark.
+def iscas_like(
+    name: str | int, scale: float = 1.0, rng: RngLike = None
+) -> Circuit:
+    """Return a synthetic circuit sized like an ISCAS89 benchmark.
 
     Parameters
     ----------
     name:
-        One of the paper's circuit names (``s838`` ... ``s13207``); the
-        canonical ISCAS89 names ``s5378`` and ``s9234`` are accepted aliases.
+        One of the paper's circuit names (``s838`` ... ``s13207``; the
+        canonical ISCAS89 names ``s5378`` and ``s9234`` are accepted
+        aliases), *or* an integer gate count for an arbitrarily scalable
+        ISCAS-like circuit beyond the published profiles (built with
+        :func:`layered_logic`, input count sized to the typical
+        inputs-per-gate ratio of the ISCAS89 suite).
     scale:
         Fractional size multiplier (0 < scale <= 1], used by fast test/bench
         configurations; the generated circuit keeps the same input count and
-        gate mix with ``scale * n_gates`` gates.
+        gate mix with ``scale * n_gates`` gates (for integer ``name`` the
+        input count scales with the gate count).
     rng:
-        Seed or generator; by default each profile uses a fixed seed derived
-        from its name, so repeated calls produce the identical circuit.
+        Seed or generator; by default a fixed seed derived from the name or
+        gate count, so repeated calls produce the identical circuit.
     """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    if isinstance(name, bool):
+        raise TypeError("name must be a benchmark name or a gate count")
+    if isinstance(name, int):
+        if name < 8:
+            raise ValueError("gate count must be at least 8")
+        n_gates = max(8, int(round(name * scale)))
+        if rng is None:
+            # Deterministic per-size seed, mirroring the named profiles.
+            rng = name * 7919
+        return layered_logic(
+            name=f"synth{name}",
+            # ~1 primary input per 12 gates: the median inputs-per-gate
+            # ratio of the ISCAS89 profiles above (1/6 .. 1/30).
+            n_inputs=max(16, n_gates // 12),
+            n_gates=n_gates,
+            rng=ensure_rng(rng),
+        )
     key = _ISCAS_ALIASES.get(name, name)
     profile = ISCAS_PROFILES.get(key)
     if profile is None:
         raise KeyError(
             f"unknown benchmark {name!r}; available: {sorted(ISCAS_PROFILES)}"
         )
-    if not 0.0 < scale <= 1.0:
-        raise ValueError("scale must be in (0, 1]")
     n_gates = max(8, int(round(profile.n_gates * scale)))
     if rng is None:
         # Deterministic per-profile seed (not hash(), which is salted per run).

@@ -488,6 +488,30 @@ class PackedMosfets:
         ib = sign * i_bulk
         return (ig, idr, isr, ib), jacobian
 
+    def kcl_jacobian_flat(self, vg, vd, vs, vb):
+        """Return the terminal currents and the *flattened* device Jacobian.
+
+        The scatter-friendly export both Newton linear-algebra backends
+        consume: ``(currents, flat)`` where ``flat`` has shape
+        ``(16 * slots, columns)`` — the ``(4, 4, T, B)`` circuit-frame
+        Jacobian of :meth:`kcl_jacobian` broadcast to the full grid and
+        reshaped row-major, so entry ``(i * 4 + j) * slots + t`` is
+        ``dI_i/dV_j`` of transistor slot ``t``.  The dense backend
+        scatter-adds these values into ``(B, N, N)`` matrices, the sparse
+        backend into the shared CSC data vector; the flat layout is the
+        triplet-value array both index through their precomputed
+        ``jac_source`` maps.
+        """
+        currents, jacobian = self.kcl_jacobian(vg, vd, vs, vb)
+        grid = np.broadcast_shapes(
+            np.shape(vg), np.shape(vd), np.shape(vs), np.shape(vb),
+            (self.slots, 1),
+        )
+        flat = np.broadcast_to(jacobian, (4, 4) + grid).reshape(
+            16 * self.slots, grid[1]
+        )
+        return currents, flat
+
     def component_currents(self, vg, vd, vs, vb) -> ComponentCurrents:
         """Return the leakage component breakdown for the whole grid.
 

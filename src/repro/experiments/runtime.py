@@ -42,6 +42,18 @@ def _ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator
 
 
+def _format_backends(methods: object) -> str:
+    """Render a ``solve_stats["methods"]`` count dict as ``name:count`` pairs.
+
+    The per-backend counts say what the solver *actually ran* — e.g. an
+    ``"auto"`` request shows up as its resolved dense/sparse backend, and
+    Newton columns that fell back appear under ``gauss-seidel``.
+    """
+    if not isinstance(methods, dict) or not methods:
+        return ""
+    return ", ".join(f"{name}:{methods[name]}" for name in sorted(methods))
+
+
 @dataclass
 class RuntimeComparison:
     """Wall-clock comparison of the estimation paths."""
@@ -57,6 +69,8 @@ class RuntimeComparison:
     characterization_seconds: float = float("nan")
     characterization_engine: str = ""
     solver_method: str = ""
+    solver_backends: str = ""
+    reference_solver_method: str = ""
     reference_sweeps_mean: float = float("nan")
 
     @property
@@ -90,6 +104,8 @@ class RuntimeComparison:
                 self.characterization_seconds,
             ],
             ["cell solver method", self.solver_method or "n/a"],
+            ["cell solver backends used", self.solver_backends or "n/a"],
+            ["reference solver method", self.reference_solver_method or "n/a"],
             ["reference sweeps per solve (mean)", self.reference_sweeps_mean],
             ["speed-up ref/estimator [x]", self.speedup],
             ["speed-up estimator/batched [x]", self.batched_speedup],
@@ -146,10 +162,12 @@ def run_runtime_comparison(
 
     start = time.perf_counter()
     transistor_count = 0
+    reference_method = ""
     reference_sweeps: list[int] = []
     for vector in vector_list:
         report = reference.estimate(circuit, vector)
         transistor_count = int(report.metadata["transistors"])
+        reference_method = str(report.metadata["solver_method"])
         reference_sweeps.append(int(report.metadata["solver_sweeps"]))
     reference_seconds = time.perf_counter() - start
 
@@ -167,6 +185,10 @@ def run_runtime_comparison(
         # Engine-aware: the scalar engine always relaxes regardless of
         # SolverOptions.method, and solve_stats records what actually ran.
         solver_method=str(library.characterizer.solve_stats["method"]),
+        solver_backends=_format_backends(
+            library.characterizer.solve_stats["methods"]
+        ),
+        reference_solver_method=reference_method,
         reference_sweeps_mean=(
             float(sum(reference_sweeps)) / len(reference_sweeps)
             if reference_sweeps

@@ -176,7 +176,11 @@ class GateCharacterizer:
         #: cost (iterations per solve), not just wall clock.  ``iterations``
         #: counts Gauss–Seidel sweeps or Newton iterations, whichever
         #: method solved the cell; ``fallbacks`` counts Newton columns that
-        #: were handed to the Gauss–Seidel fallback.
+        #: were handed to the Gauss–Seidel fallback.  ``methods`` counts the
+        #: solved cells per *resolved* backend — dense ``"newton"``,
+        #: ``"newton-sparse"`` and ``"gauss-seidel"`` (requested relaxation
+        #: plus Newton fallback columns); an ``"auto"`` request never
+        #: appears here, only what it resolved to.
         self.solve_stats: dict[str, object] = {
             "method": (
                 "gauss-seidel"
@@ -187,6 +191,7 @@ class GateCharacterizer:
             "iterations": 0,
             "max_iterations": 0,
             "fallbacks": 0,
+            "methods": {},
         }
 
     # ------------------------------------------------------------------ #
@@ -471,6 +476,7 @@ class GateCharacterizer:
         stats["solves"] += 1
         stats["iterations"] += int(op.sweeps)
         stats["max_iterations"] = max(stats["max_iterations"], int(op.sweeps))
+        self._count_method("gauss-seidel", 1)
 
     def _record_batched_solve(self, op: BatchedOperatingPoint) -> None:
         stats = self.solve_stats
@@ -479,8 +485,19 @@ class GateCharacterizer:
         stats["max_iterations"] = max(
             stats["max_iterations"], int(op.sweeps.max())
         )
-        if op.fallback is not None:
-            stats["fallbacks"] += int(op.fallback.sum())
+        fallbacks = 0 if op.fallback is None else int(op.fallback.sum())
+        stats["fallbacks"] += fallbacks
+        # Fallback columns were solved by the relaxation path, whatever the
+        # requested method; ``op.method`` is already the resolved backend.
+        self._count_method("gauss-seidel", fallbacks)
+        self._count_method(op.method, int(op.batch) - fallbacks)
+
+    def _count_method(self, method: str, columns: int) -> None:
+        if columns <= 0:
+            return
+        methods = self.solve_stats["methods"]
+        assert isinstance(methods, dict)
+        methods[method] = methods.get(method, 0) + columns
 
     def _report_nonconverged(self, message: str) -> None:
         """Apply the ``on_nonconverged`` policy to a convergence failure."""

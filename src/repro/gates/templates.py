@@ -217,6 +217,157 @@ def build_gate_transistors(
     return list(builder.internal_nodes)
 
 
+def _series_internal_levels(
+    labels: list[str],
+    on: list[bool],
+    top_value: int,
+    bottom_value: int,
+    float_value: int,
+) -> dict[str, int]:
+    """Seed levels of the internal nodes of one series stack.
+
+    ``labels`` are the internal node labels from the top of the stack down
+    (one fewer than the devices); ``on[i]`` says whether device ``i``
+    (top-to-bottom) conducts under the applied input vector.  A node takes
+    the bottom (rail) value when every device below it is ON, the top value
+    when every device above it is ON, and ``float_value`` when it is cut
+    off on both sides (a floating node settles wherever the leakage divider
+    puts it; the caller picks a rail-consistent guess).
+    """
+    levels: dict[str, int] = {}
+    for index, label in enumerate(labels):
+        if all(on[index + 1 :]):
+            levels[label] = bottom_value
+        elif all(on[: index + 1]):
+            levels[label] = top_value
+        else:
+            levels[label] = float_value
+    return levels
+
+
+def internal_seed_levels(
+    gate_type: GateType | str,
+    input_values: tuple[int, ...] | list[int],
+    output_value: int,
+) -> dict[str, int]:
+    """Return the DC seed logic level of every instance-internal node.
+
+    The keys are the bare node labels of :func:`build_gate_transistors`
+    (``"stage1"``, ``"sn0"``, ...); callers prefix them with
+    ``"{instance}."``.  The level is the rail the node sits at (or nearest
+    to) once the gate settles under ``input_values``:
+
+    * two-stage gates (BUF, AND*, OR*) drive their internal stage at the
+      *complement* of the gate output;
+    * the XOR/XNOR input inverters drive ``a_bar``/``b_bar`` at the
+      complement of the respective *input*;
+    * a series-stack node follows whichever end of the stack it conducts
+      to; a node cut off on both sides floats, and is seeded at the value
+      of its output-side end.
+
+    Seeding from these levels instead of a blanket "gate output rail"
+    matters to the Newton solver: a wrong-rail seed on an internal stage
+    puts a fully-ON stack across the supply, and the resulting mA-scale
+    starting residuals are what its damped line search is worst at (the
+    relaxation solver's bracketed root finds shrug them off in one sweep).
+    """
+    spec = gate_spec(gate_type)
+    if len(input_values) != len(spec.inputs):
+        raise ValueError(
+            f"{spec.name} expects {len(spec.inputs)} input values, got "
+            f"{len(input_values)}"
+        )
+    values = [int(v) for v in input_values]
+    out = int(output_value)
+    gate_type = spec.gate_type
+
+    if gate_type is GateType.BUF:
+        return {"mid": 1 - values[0]}
+    if gate_type in (GateType.NAND2, GateType.NAND3, GateType.NAND4):
+        labels = [f"sn{i}" for i in range(len(values) - 1)]
+        return _series_internal_levels(
+            labels, [v == 1 for v in values], out, 0, out
+        )
+    if gate_type in (GateType.NOR2, GateType.NOR3):
+        labels = [f"sp{i}" for i in range(len(values) - 1)]
+        return _series_internal_levels(
+            labels, [v == 0 for v in values], 1, out, out
+        )
+    if gate_type in (GateType.AND2, GateType.AND3, GateType.OR2, GateType.OR3):
+        stage = 1 - out  # the first stage is the inverting twin
+        levels = {"stage1": stage}
+        labels_needed = len(values) - 1
+        if gate_type in (GateType.AND2, GateType.AND3):
+            levels.update(
+                _series_internal_levels(
+                    [f"sn{i}" for i in range(labels_needed)],
+                    [v == 1 for v in values],
+                    stage,
+                    0,
+                    stage,
+                )
+            )
+        else:
+            levels.update(
+                _series_internal_levels(
+                    [f"sp{i}" for i in range(labels_needed)],
+                    [v == 0 for v in values],
+                    1,
+                    stage,
+                    stage,
+                )
+            )
+        return levels
+    if gate_type in (GateType.XOR2, GateType.XNOR2):
+        a, b = values
+        a_bar, b_bar = 1 - a, 1 - b
+        levels = {"a_bar": a_bar, "b_bar": b_bar}
+        if gate_type is GateType.XNOR2:
+            pun_pairs = [(a, b), (a_bar, b_bar)]
+            pdn_pairs = [(a, b_bar), (a_bar, b)]
+        else:
+            pun_pairs = [(a, b_bar), (a_bar, b)]
+            pdn_pairs = [(a, b), (a_bar, b_bar)]
+        for index, (g1, g2) in enumerate(pdn_pairs):
+            # out -[g1 NMOS]- mid -[g2 NMOS]- gnd
+            levels.update(
+                _series_internal_levels(
+                    [f"pdn{index}"], [g1 == 1, g2 == 1], out, 0, out
+                )
+            )
+        for index, (g1, g2) in enumerate(pun_pairs):
+            # supply -[g1 PMOS]- mid -[g2 PMOS]- out
+            levels.update(
+                _series_internal_levels(
+                    [f"pun{index}"], [g1 == 0, g2 == 0], 1, out, out
+                )
+            )
+        return levels
+    if gate_type is GateType.AOI21:
+        a, b, c = values
+        # pdn: out -[a NMOS]- mid -[b NMOS]- gnd
+        levels = _series_internal_levels(["pdn"], [a == 1, b == 1], out, 0, out)
+        # pun: supply -[a || b PMOS]- mid -[c PMOS]- out
+        levels.update(
+            _series_internal_levels(
+                ["pun"], [a == 0 or b == 0, c == 0], 1, out, out
+            )
+        )
+        return levels
+    if gate_type is GateType.OAI21:
+        a, b, c = values
+        # pdn: gnd -[a || b NMOS]- mid -[c NMOS]- out (top = out side)
+        levels = _series_internal_levels(
+            ["pdn"], [c == 1, a == 1 or b == 1], out, 0, out
+        )
+        # pun: supply -[a PMOS]- mid -[b PMOS]- out
+        levels.update(
+            _series_internal_levels(["pun"], [a == 0, b == 0], 1, out, out)
+        )
+        return levels
+    return {}  # INV and any template without internal nodes
+
+
 def _build_two_stage(
     builder: _GateBuilder, spec: GateSpec, nodes: dict[str, str], out: str
 ) -> None:

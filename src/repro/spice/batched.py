@@ -22,8 +22,14 @@ Two methods are available, selected by
   line search and a per-column fallback to the Gauss–Seidel sweeps; see
   :mod:`repro.spice.newton`.  This converges in ~5–15 iterations where the
   relaxation needs tens to hundreds of sweeps.
+* ``"newton-sparse"`` — the same damped-Newton iteration with sparse CSC
+  Jacobian assembly and SuperLU factorization (:mod:`repro.spice.sparse`);
+  O(nnz) memory instead of O(B·N²), the backend for ISCAS-scale netlists.
+* ``"auto"`` — picks between the two Newton backends by free-node count
+  and the dense memory estimate (see
+  :attr:`~repro.spice.solver.SolverOptions.newton_sparse_threshold`).
 * ``"gauss-seidel"`` — the relaxation described below, kept as the batched
-  oracle (and as the fallback engine of the Newton path).
+  oracle (and as the fallback engine of every Newton backend).
 
 The sweep structure mirrors :class:`~repro.spice.solver.DcSolver` exactly —
 Gauss–Seidel relaxation with a periodic conducting-cluster supernode pass (a
@@ -59,7 +65,7 @@ from repro.spice.analysis import (
     owner_slot_ids,
 )
 from repro.spice.netlist import NodeKind, TransistorNetlist
-from repro.spice.solver import OperatingPoint, SolverOptions
+from repro.spice.solver import NEWTON_METHODS, OperatingPoint, SolverOptions
 from repro.utils.rootfind import chandrupatla
 
 #: Terminal evaluation order shared with :meth:`TransistorInstance.terminals`.
@@ -88,8 +94,9 @@ class BatchedOperatingPoint:
     max_update:
         Per-instance largest node update of the final active sweep (V).
     method:
-        ``"newton"`` or ``"gauss-seidel"`` — the solver method this batch
-        rode (:attr:`repro.spice.solver.SolverOptions.method`).
+        ``"newton"``, ``"newton-sparse"`` or ``"gauss-seidel"`` — the
+        *resolved* solver method this batch rode (``method="auto"`` records
+        the backend it actually picked, never the literal ``"auto"``).
     newton_iterations:
         Per-instance Newton iteration counts, or None for a pure
         Gauss–Seidel solve.  Fallback columns record the iterations spent
@@ -434,7 +441,7 @@ class BatchedDcSolver:
             nodes start from their stored netlist voltage.
         """
         voltages = self._initial_matrix(initial_voltages)
-        if self.options.method == "newton":
+        if self.options.method in NEWTON_METHODS:
             from repro.spice.newton import solve_newton
 
             return solve_newton(self, voltages)

@@ -1,19 +1,18 @@
 """Batched damped-Newton DC operating-point solver.
 
 This module is the fast path behind
-:meth:`repro.spice.batched.BatchedDcSolver.solve` when
-:attr:`~repro.spice.solver.SolverOptions.method` is ``"newton"`` (the
-default).  Where the Gauss–Seidel sweeps of :mod:`repro.spice.batched`
+:meth:`repro.spice.batched.BatchedDcSolver.solve` for every method of the
+Newton family (``"newton"`` — the default — ``"newton-sparse"`` and
+``"auto"``).  Where the Gauss–Seidel sweeps of :mod:`repro.spice.batched`
 relax one node at a time — tens to hundreds of sweeps, each performing one
 bracketed 1-D root find per free node — the Newton solver treats the whole
 free-node Kirchhoff system per batch column at once:
 
 1. evaluate every device of the packed ``(T, B)`` grid *once* to get the
    full residual vector ``F`` and, through the analytic model derivatives
-   (:meth:`repro.device.batched.PackedMosfets.kcl_jacobian`), the dense
-   per-column Jacobian ``J`` of shape ``(B, N, N)``;
-2. solve ``J dv = -F`` for all columns with one batched
-   ``np.linalg.solve`` call;
+   (:meth:`repro.device.batched.PackedMosfets.kcl_jacobian`), the
+   per-column Jacobian ``J``;
+2. solve ``J dv = -F`` for all columns;
 3. damp the step with a per-column clamp and a per-column backtracking
    (Armijo) line search on the residual 2-norm, then apply it inside the
    admissible voltage band.
@@ -22,6 +21,31 @@ Near the solution the iteration converges quadratically, so the whole
 solve finishes in ~5–15 iterations from a cold start and 1–4 from a warm
 start — against up to ``max_sweeps`` relaxation sweeps at tight
 tolerances.
+
+Linear-algebra backends
+-----------------------
+Steps 1–2 are the only stage whose cost scales super-linearly with the
+free-node count, so exactly that stage is abstracted behind a backend
+object (one ``steps(packed, voltages, injection)`` call per iteration);
+the globalization loop — damping, line search, convergence masking and the
+Gauss–Seidel fallback — is shared verbatim by every backend:
+
+* :class:`_DenseNewtonBackend` (``method="newton"``) scatters the device
+  Jacobians into dense ``(B, N, N)`` matrices and factorizes them with one
+  batched ``np.linalg.solve`` — O(B·N²) memory and O(B·N³) time, unbeatable
+  on the small cells of the characterizer, a hard wall at ISCAS scale.  A
+  *pre-flight* estimate of the stack (:func:`dense_jacobian_bytes`) is
+  checked against ``SolverOptions.newton_dense_memory_limit`` before the
+  first allocation and raises :class:`DenseJacobianMemoryError` naming the
+  system size and the sparse escape hatch, instead of dying in a bare
+  NumPy ``MemoryError`` mid-assembly.
+* :class:`repro.spice.sparse.SparseNewtonBackend`
+  (``method="newton-sparse"``) assembles the same scatter indices into one
+  shared CSC sparsity pattern and factorizes per column with SuperLU —
+  O(nnz) memory, near-linear time on circuit matrices.
+* ``method="auto"`` resolves to one of the two by free-node count and the
+  dense memory estimate (:func:`resolve_newton_method`); the resolved name
+  is what :attr:`BatchedOperatingPoint.method` records.
 
 Robustness — the Gauss–Seidel fallback
 --------------------------------------
@@ -54,9 +78,75 @@ from __future__ import annotations
 import numpy as np
 
 from repro.spice.batched import BatchedDcSolver, BatchedOperatingPoint
+from repro.spice.solver import SolverOptions
 
 #: Armijo sufficient-decrease constant of the backtracking line search.
 _ARMIJO = 1.0e-4
+
+
+def dense_jacobian_bytes(batch: int, n_free: int) -> int:
+    """Bytes of the dense ``(batch, N, N)`` float64 Jacobian stack.
+
+    This is the single allocation that makes ``method="newton"`` quadratic
+    in the free-node count; everything else in the solver is O(T·B).
+    """
+    return int(batch) * int(n_free) * int(n_free) * 8
+
+
+class DenseJacobianMemoryError(MemoryError):
+    """Pre-flight refusal to allocate the dense Newton Jacobian stack.
+
+    Raised *before* the first Newton iteration when
+    :func:`dense_jacobian_bytes` exceeds
+    :attr:`~repro.spice.solver.SolverOptions.newton_dense_memory_limit`,
+    so an over-sized ``method="newton"`` solve fails fast with the system
+    dimensions and the sparse escape hatch in the message instead of
+    thrashing swap or dying in a bare NumPy ``MemoryError`` mid-assembly.
+    ``method="auto"`` never raises this: it resolves such systems to
+    ``"newton-sparse"`` instead.
+    """
+
+
+def check_dense_jacobian_memory(
+    batch: int, n_free: int, options: SolverOptions
+) -> None:
+    """Raise :class:`DenseJacobianMemoryError` if the dense stack is too big."""
+    needed = dense_jacobian_bytes(batch, n_free)
+    limit = options.newton_dense_memory_limit
+    if needed > limit:
+        raise DenseJacobianMemoryError(
+            f"dense Newton Jacobian stack needs {needed / 1e9:.3g} GB "
+            f"({batch} batch columns x {n_free} x {n_free} free nodes x "
+            f"8 bytes), over the newton_dense_memory_limit of "
+            f"{limit / 1e9:.3g} GB; use SolverOptions(method=\"newton-sparse\") "
+            f"(or method=\"auto\", which selects it automatically), raise "
+            f"newton_dense_memory_limit, or solve fewer columns per batch"
+        )
+
+
+def resolve_newton_method(
+    options: SolverOptions, n_free: int, batch: int
+) -> str:
+    """Resolve a Newton-family ``options.method`` to a concrete backend name.
+
+    ``"newton"`` and ``"newton-sparse"`` resolve to themselves.  ``"auto"``
+    picks ``"newton-sparse"`` when the system is large — the free-node
+    count reaches
+    :attr:`~repro.spice.solver.SolverOptions.newton_sparse_threshold` or
+    the dense stack would exceed
+    :attr:`~repro.spice.solver.SolverOptions.newton_dense_memory_limit` —
+    and the dense backend otherwise, so small cells keep the batched-LAPACK
+    fast path bitwise unchanged.
+    """
+    if options.method == "newton-sparse":
+        return "newton-sparse"
+    if options.method == "auto" and (
+        n_free >= options.newton_sparse_threshold
+        or dense_jacobian_bytes(batch, n_free)
+        > options.newton_dense_memory_limit
+    ):
+        return "newton-sparse"
+    return "newton"
 
 
 class _NewtonAssembler:
@@ -144,11 +234,8 @@ class _NewtonAssembler:
         ``matrices[b, i, j] = dF_i/dV_j`` over the free nodes.
         """
         g, d, s, b = (voltages[r] for r in self.rows)
-        currents, jac = packed.kcl_jacobian(g, d, s, b)
+        currents, flat = packed.kcl_jacobian_flat(g, d, s, b)
         columns = g.shape[1]
-        flat = np.broadcast_to(jac, (4, 4) + g.shape).reshape(
-            16 * self.slots, columns
-        )
         out = np.zeros((self.n_free * self.n_free, columns))
         np.add.at(out, self.jac_target, flat[self.jac_source])
         matrices = np.ascontiguousarray(
@@ -183,20 +270,57 @@ def _solve_steps(matrices: np.ndarray, residual: np.ndarray):
         return steps, singular
 
 
+class _DenseNewtonBackend:
+    """Dense linear-algebra backend behind ``method="newton"``.
+
+    Scatters the device Jacobians into a dense ``(columns, N, N)`` stack
+    and factorizes every column in one batched ``np.linalg.solve`` call.
+    Construction runs the pre-flight memory check against the *full*
+    batch size (the first iteration's allocation), so an over-budget
+    system fails before any device evaluation.
+    """
+
+    name = "newton"
+
+    def __init__(
+        self, assembler: _NewtonAssembler, options: SolverOptions, batch: int
+    ) -> None:
+        check_dense_jacobian_memory(batch, assembler.n_free, options)
+        self.assembler = assembler
+
+    def steps(
+        self, packed, voltages: np.ndarray, injection: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One linearization: ``(residual, step, singular)`` per column.
+
+        ``residual`` is ``(N, columns)`` as in
+        :meth:`_NewtonAssembler.residual`, ``step`` is the ``(N, columns)``
+        undamped Newton step solving ``J dv = -F``, and ``singular`` flags
+        columns whose Jacobian could not be factorized (their step is 0).
+        """
+        residual, matrices = self.assembler.jacobian(
+            packed, voltages, injection
+        )
+        step, singular = _solve_steps(matrices, residual)
+        return residual, step, singular
+
+
 def solve_newton(
     solver: BatchedDcSolver, voltages: np.ndarray
 ) -> BatchedOperatingPoint:
     """Damped-Newton solve of ``solver``'s batch, in place on ``voltages``.
 
-    Called by :meth:`BatchedDcSolver.solve` when
-    ``options.method == "newton"``; see the module docstring for the
-    scheme.  ``voltages`` is the full ``(nodes, B)`` initial matrix and is
-    updated in place.
+    Called by :meth:`BatchedDcSolver.solve` for every Newton-family
+    ``options.method`` (``"newton"``, ``"newton-sparse"``, ``"auto"``);
+    see the module docstring for the scheme and the backend split.
+    ``voltages`` is the full ``(nodes, B)`` initial matrix and is updated
+    in place.
     """
     options = solver.options
     batch = solver.batch
     assembler = _NewtonAssembler(solver)
     free = assembler.free_rows
+    resolved = resolve_newton_method(options, assembler.n_free, batch)
 
     converged = np.zeros(batch, dtype=bool)
     failed = np.zeros(batch, dtype=bool)
@@ -208,6 +332,15 @@ def solve_newton(
         converged[:] = True
         max_update[:] = 0.0
     else:
+        if resolved == "newton-sparse":
+            from repro.spice.sparse import SparseNewtonBackend
+
+            backend: SparseNewtonBackend | _DenseNewtonBackend = (
+                SparseNewtonBackend(assembler)
+            )
+        else:
+            backend = _DenseNewtonBackend(assembler, options, batch)
+
         initial = voltages.copy()  # fallback columns restart from here
         lo_limit = solver._lo_limit
 
@@ -221,9 +354,10 @@ def solve_newton(
             hi_limit = solver._hi_limit[active]
             v_active = voltages[:, active]
 
-            residual, matrices = assembler.jacobian(packed, v_active, injection)
+            residual, step, singular = backend.steps(
+                packed, v_active, injection
+            )
             norm = np.sqrt(np.sum(residual * residual, axis=0))
-            step, singular = _solve_steps(matrices, residual)
             bad = singular | ~np.isfinite(step).all(axis=0) | ~np.isfinite(norm)
             step[:, bad] = 0.0
             raw_size = np.abs(step).max(axis=0)
@@ -336,7 +470,7 @@ def solve_newton(
             converged=converged,
             sweeps=np.where(fallback, sweeps, iterations),
             max_update=max_update,
-            method="newton",
+            method=resolved,
             newton_iterations=iterations,
             fallback=fallback,
         )
@@ -348,7 +482,7 @@ def solve_newton(
         converged=converged,
         sweeps=iterations,
         max_update=max_update,
-        method="newton",
+        method=resolved,
         newton_iterations=iterations,
         fallback=failed,
     )

@@ -25,7 +25,12 @@ from repro.spice.netlist import NodeKind, TransistorNetlist
 
 
 #: Solver algorithms accepted by :attr:`SolverOptions.method`.
-SOLVER_METHODS = ("newton", "gauss-seidel")
+SOLVER_METHODS = ("newton", "newton-sparse", "auto", "gauss-seidel")
+
+#: The Newton family: methods that ride the damped-Newton globalization loop
+#: of :mod:`repro.spice.newton` (they differ only in the linear-algebra
+#: backend that produces the Newton steps).
+NEWTON_METHODS = ("newton", "newton-sparse", "auto")
 
 
 @dataclass(frozen=True)
@@ -39,11 +44,18 @@ class SolverOptions:
         (:class:`repro.spice.batched.BatchedDcSolver`): ``"newton"``
         (default) takes damped Newton–Raphson steps with analytic device
         Jacobians and falls back per batch column to Gauss–Seidel sweeps
-        when a step cannot reduce the KCL residual; ``"gauss-seidel"`` runs
-        the relaxation sweeps for every column (the batched oracle).  The
-        scalar :class:`DcSolver` always uses Gauss–Seidel relaxation — it
-        is the cross-check oracle both batched methods are validated
-        against.
+        when a step cannot reduce the KCL residual; ``"newton-sparse"``
+        runs the identical damped-Newton iteration but assembles the
+        free-node Jacobians as sparse CSC matrices and factorizes them with
+        SuperLU (:mod:`repro.spice.sparse`) — O(nnz) memory instead of
+        O(B·N²), the only feasible backend for ISCAS-scale netlists;
+        ``"auto"`` picks ``"newton-sparse"`` when the free-node count
+        reaches :attr:`newton_sparse_threshold` (or the dense Jacobian
+        stack would exceed :attr:`newton_dense_memory_limit`) and
+        ``"newton"`` otherwise; ``"gauss-seidel"`` runs the relaxation
+        sweeps for every column (the batched oracle).  The scalar
+        :class:`DcSolver` always uses Gauss–Seidel relaxation — it is the
+        cross-check oracle every batched method is validated against.
     max_sweeps:
         Maximum number of Gauss–Seidel sweeps over all free nodes.
     voltage_tol:
@@ -86,6 +98,19 @@ class SolverOptions:
         device characteristics make far-from-solution Jacobians wildly
         optimistic; limiting the step keeps the first iterations inside
         the region where the line search is meaningful.
+    newton_sparse_threshold:
+        Free-node count at (and above) which ``method="auto"`` selects the
+        sparse Newton backend.  The dense backend amortizes its O(N³)
+        batched factorization well on the small cells of the
+        characterizer; on circuit-sized systems the sparse factorization
+        wins long before memory becomes the binding constraint.
+    newton_dense_memory_limit:
+        Byte budget of the dense backend's ``(B, N, N)`` Jacobian stack.
+        ``method="newton"`` *pre-flight checks* the allocation against this
+        limit and raises a :class:`~repro.spice.newton.DenseJacobianMemoryError`
+        naming the system size and the ``method="newton-sparse"`` escape
+        hatch instead of dying in a bare NumPy ``MemoryError`` mid-assembly;
+        ``method="auto"`` switches to the sparse backend instead of raising.
     """
 
     max_sweeps: int = 80
@@ -98,6 +123,8 @@ class SolverOptions:
     newton_max_iterations: int = 60
     newton_backtracks: int = 12
     newton_step_limit: float = 0.5
+    newton_sparse_threshold: int = 1024
+    newton_dense_memory_limit: float = 4.0e9
 
     def __post_init__(self) -> None:
         if self.max_sweeps < 1:
@@ -116,6 +143,10 @@ class SolverOptions:
             raise ValueError("newton_backtracks must be non-negative")
         if self.newton_step_limit <= 0:
             raise ValueError("newton_step_limit must be positive")
+        if self.newton_sparse_threshold < 1:
+            raise ValueError("newton_sparse_threshold must be at least 1")
+        if self.newton_dense_memory_limit <= 0:
+            raise ValueError("newton_dense_memory_limit must be positive")
 
 
 @dataclass
@@ -361,8 +392,13 @@ class DcSolver:
         voltage of a floating stack node is not known until the solve has
         finished, which is the chicken-and-egg this pass breaks.
         """
-        free_names = {problem.name for problem in self._problems}
-        parent: dict[str, str] = {name: name for name in free_names}
+        # Iterate in problem order throughout: building these structures
+        # from a set would make cluster membership *order* (and therefore
+        # the cluster-residual summation order) depend on the process hash
+        # seed, turning the solve nondeterministic at the last-ulp level.
+        order = [problem.name for problem in self._problems]
+        free_names = set(order)
+        parent: dict[str, str] = {name: name for name in order}
 
         def find(name: str) -> str:
             while parent[name] != name:
@@ -385,7 +421,7 @@ class DcSolver:
                 union(drain, source)
 
         clusters: dict[str, list[str]] = {}
-        for name in free_names:
+        for name in order:
             clusters.setdefault(find(name), []).append(name)
         return [members for members in clusters.values() if len(members) > 1]
 

@@ -68,6 +68,27 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
         "reference.max_relative_error_vs_scalar": NUMBER,
         "reference.chunk_invariant": bool,
     },
+    "sparse_newton.json": {
+        "seed": int,
+        "solver_options.newton_sparse_threshold": int,
+        "solver_options.newton_dense_memory_limit": NUMBER,
+        "min_speedup": NUMBER,
+        "max_relative_error_bar": NUMBER,
+        "dense_parity_bar": NUMBER,
+        "medium.free_nodes": int,
+        "medium.speedup_vs_dense": NUMBER,
+        "medium.max_relative_error_vs_oracle": NUMBER,
+        "medium.max_relative_error_vs_dense": NUMBER,
+        "medium.chunk_invariant": bool,
+        "large.free_nodes": int,
+        "large.speedup_vs_dense": NUMBER,
+        "large.max_relative_error_vs_oracle": NUMBER,
+        "large.max_relative_error_vs_dense": NUMBER,
+        "large.chunk_invariant": bool,
+        "large.auto_resolves_sparse": bool,
+        "large.dense_infeasible_batch": int,
+        "large.sparse_solver_stats.fallbacks": int,
+    },
     "vector_search.json": {
         "seed": int,
         "engine": str,

@@ -37,7 +37,10 @@ class TestFlatten:
         assert guesses["n2"] == pytest.approx(bulk25.vdd)
         assert flattened.netlist.nodes["n1"].kind is NodeKind.FREE
 
-    def test_gate_internal_nodes_seeded_at_output_rail(self, bulk25):
+    def test_gate_internal_nodes_seeded_by_conduction(self, bulk25):
+        # NAND3 stack (top->bottom gates a=1, b=0, a=1), output '1': the
+        # node above the OFF middle device conducts to the output rail,
+        # the node below it conducts to ground.
         circuit = Circuit(name="nand")
         circuit.add_input("a")
         circuit.add_input("b")
@@ -45,8 +48,21 @@ class TestFlatten:
         circuit.add_output("y")
         flattened = flatten(circuit, bulk25, {"a": 1, "b": 0})
         guesses = flattened.initial_voltages()
-        for node in flattened.internal_nodes["g1"]:
-            assert guesses[node] == pytest.approx(bulk25.vdd)  # output is '1'
+        assert guesses["g1.sn0"] == pytest.approx(bulk25.vdd)
+        assert guesses["g1.sn1"] == pytest.approx(0.0)
+
+    def test_two_stage_internal_seeded_at_complement(self, bulk25):
+        # AND2 is NAND2 + inverter: the internal stage1 net settles at the
+        # complement of the gate output, not at the output rail.
+        circuit = Circuit(name="and")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g1", GateType.AND2, ["a", "b"], "y")
+        circuit.add_output("y")
+        flattened = flatten(circuit, bulk25, {"a": 1, "b": 1})
+        guesses = flattened.initial_voltages()
+        assert guesses["g1.stage1"] == pytest.approx(0.0)  # output is '1'
+        assert guesses["y"] == pytest.approx(bulk25.vdd)
 
     def test_owner_tags_match_gate_names(self, bulk25):
         circuit = loaded_inverter_cluster(2, 2)

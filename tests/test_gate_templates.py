@@ -9,7 +9,11 @@ specs through the real solver, not by inspection.
 import pytest
 
 from repro.gates.library import GateType, all_gate_types, gate_spec
-from repro.gates.templates import build_gate_transistors, transistor_count
+from repro.gates.templates import (
+    build_gate_transistors,
+    internal_seed_levels,
+    transistor_count,
+)
 from repro.spice.netlist import TransistorNetlist
 from repro.spice.solver import DcSolver
 
@@ -112,3 +116,100 @@ class TestElectricalTruthTables:
         for node in internal:
             assert node.startswith("g.")
             assert node in netlist.nodes
+
+
+class TestInternalSeedLevels:
+    """The seed table must name every template node with a sane level."""
+
+    def test_covers_every_template_node(self, bulk25):
+        for gate_type in all_gate_types():
+            spec = gate_spec(gate_type)
+            netlist = TransistorNetlist(vdd=bulk25.vdd)
+            pins = {}
+            for pin in spec.inputs:
+                netlist.add_node(f"in_{pin}", fixed_voltage=0.0)
+                pins[pin] = f"in_{pin}"
+            pins[spec.output] = "out"
+            internal = build_gate_transistors(
+                netlist, bulk25, gate_type, "dut", pins
+            )
+            labels = {node.removeprefix("dut.") for node in internal}
+            for bits in spec.all_vectors():
+                levels = internal_seed_levels(
+                    gate_type, bits, spec.evaluate(bits)
+                )
+                assert set(levels) == labels, f"{spec.name}{bits}"
+                assert all(value in (0, 1) for value in levels.values())
+
+    def test_two_stage_nodes_are_complements(self):
+        # BUF mid and AND/OR stage1 are outputs of the *inverting* first
+        # stage; XOR/XNOR input inverters complement their own input.
+        assert internal_seed_levels(GateType.BUF, [1], 1) == {"mid": 0}
+        assert internal_seed_levels(GateType.BUF, [0], 0) == {"mid": 1}
+        assert internal_seed_levels(GateType.AND2, [1, 1], 1)["stage1"] == 0
+        assert internal_seed_levels(GateType.OR2, [0, 0], 0)["stage1"] == 1
+        levels = internal_seed_levels(GateType.XOR2, [1, 0], 1)
+        assert levels["a_bar"] == 0
+        assert levels["b_bar"] == 1
+
+    def test_series_stack_follows_conduction(self):
+        # NAND3 stack gates top->bottom (1, 0, 1), output '1': above the
+        # OFF device the node conducts to the output, below it to ground.
+        levels = internal_seed_levels(GateType.NAND3, [1, 0, 1], 1)
+        assert levels == {"sn0": 1, "sn1": 0}
+        # All inputs high (output '0'): the whole stack conducts to both
+        # ends, which agree at the ground rail.
+        assert internal_seed_levels(GateType.NAND3, [1, 1, 1], 0) == {
+            "sn0": 0,
+            "sn1": 0,
+        }
+        # NOR3 all-low (output '1'): the PMOS stack conducts to supply.
+        assert internal_seed_levels(GateType.NOR3, [0, 0, 0], 1) == {
+            "sp0": 1,
+            "sp1": 1,
+        }
+
+    def test_driven_internal_stages_settle_at_seed_rail(self, bulk25):
+        # Electrical check: for every two-stage/XOR template and vector,
+        # the actively driven internal nodes converge at the rail the seed
+        # table names (floating stack nodes are excluded — a leakage
+        # divider parks them anywhere in the band).
+        driven = {
+            GateType.BUF: ("mid",),
+            GateType.AND2: ("stage1",),
+            GateType.OR2: ("stage1",),
+            GateType.XOR2: ("a_bar", "b_bar"),
+            GateType.XNOR2: ("a_bar", "b_bar"),
+        }
+        vdd = bulk25.vdd
+        for gate_type, labels in driven.items():
+            spec = gate_spec(gate_type)
+            for bits in spec.all_vectors():
+                netlist = TransistorNetlist(vdd=vdd)
+                pins = {}
+                for pin, bit in zip(spec.inputs, bits):
+                    netlist.add_node(f"in_{pin}", fixed_voltage=vdd * bit)
+                    pins[pin] = f"in_{pin}"
+                pins[spec.output] = "out"
+                internal = build_gate_transistors(
+                    netlist, bulk25, gate_type, "dut", pins
+                )
+                levels = internal_seed_levels(
+                    gate_type, bits, spec.evaluate(bits)
+                )
+                initial = {"out": vdd * spec.evaluate(bits)}
+                for node in internal:
+                    initial[node] = vdd * levels[node.removeprefix("dut.")]
+                op = DcSolver(netlist, 300.0).solve(initial_voltages=initial)
+                assert op.converged
+                for label in labels:
+                    seed = levels[label]
+                    solved = op.voltage(f"dut.{label}")
+                    if seed:
+                        assert solved > 0.9 * vdd, f"{spec.name}{bits} {label}"
+                    else:
+                        assert solved < 0.1 * vdd, f"{spec.name}{bits} {label}"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="input values"):
+            internal_seed_levels(GateType.NAND2, [1], 0)
