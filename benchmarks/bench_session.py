@@ -1,0 +1,198 @@
+"""Serving benchmark: a long-lived EstimationSession vs. cold per-call setup.
+
+The service layer's claim is operational, not numerical: a long-lived
+:class:`repro.service.EstimationSession` — compiled circuit cached, library
+registered, concurrent point queries coalesced into shared engine passes —
+answers repeated vector-estimation queries at a throughput the stateless
+per-call path cannot approach, while returning **bitwise identical**
+totals.  The two sides measured on the same circuit and query shape:
+
+* **warm**: one session, warmed once (library + compile), then ``THREADS``
+  workers each issuing sequential small queries through the coalescing
+  front-end — the serving usage the layer was built for;
+* **cold**: the per-call counterfactual — every query constructs a fresh
+  session, loads the characterized library from the on-disk
+  :class:`~repro.gates.cache.LibraryStore` (the realistic stateless-worker
+  setup; re-characterizing from scratch would be seconds per call), compiles
+  the circuit fresh, and only then evaluates.
+
+Characterization itself is paid once, outside both timed regions, and
+published to the store both sides read — the cold side is charged the
+per-call *setup* (library load + compile), never the one-time solve.
+
+Records ``benchmarks/session.json`` (override with ``SESSION_BENCH_JSON``)
+for CI to archive.  Environment knobs for smoke runs:
+``SESSION_BENCH_SCALE``, ``SESSION_BENCH_VECTORS`` (vectors per query),
+``SESSION_BENCH_QUERIES`` (warm queries per thread),
+``SESSION_BENCH_THREADS``, ``SESSION_BENCH_COLD_QUERIES`` and
+``SESSION_BENCH_MIN_SPEEDUP`` (smoke machines are noisy; the bitwise bars
+are never relaxed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.circuit.generators import iscas_like
+from repro.engine.campaign import run_totals
+from repro.service import EstimationSession
+
+CIRCUIT = "s838"
+SCALE = float(os.environ.get("SESSION_BENCH_SCALE", "1.0"))
+VECTORS_PER_QUERY = int(os.environ.get("SESSION_BENCH_VECTORS", "1"))
+QUERIES_PER_THREAD = int(os.environ.get("SESSION_BENCH_QUERIES", "16"))
+THREADS = int(os.environ.get("SESSION_BENCH_THREADS", "8"))
+COLD_QUERIES = int(os.environ.get("SESSION_BENCH_COLD_QUERIES", "12"))
+SEED = 2005
+
+#: Acceptance floor: warm serving throughput must beat the cold per-call
+#: path by at least this factor at the default configuration.  Smoke runs
+#: may lower it (fewer queries, noisier machines); the bitwise-identity
+#: bars below are never relaxed.
+MIN_SPEEDUP = float(os.environ.get("SESSION_BENCH_MIN_SPEEDUP", "10.0"))
+
+
+def _json_path() -> Path:
+    override = os.environ.get("SESSION_BENCH_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "session.json"
+
+
+def _warm_side(session, circuit, library, queries):
+    """Serve every query through the shared session from worker threads.
+
+    Worker ``i`` owns queries ``i, i+THREADS, i+2*THREADS, ...`` and issues
+    them sequentially, so concurrent submissions from different workers
+    coalesce into shared engine passes.  Returns (results, seconds).
+    """
+    results: list[np.ndarray | None] = [None] * len(queries)
+    barrier = threading.Barrier(THREADS)
+
+    def worker(worker_index: int) -> None:
+        barrier.wait()
+        for q in range(worker_index, len(queries), THREADS):
+            results[q] = session.totals(circuit, library, queries[q])
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(THREADS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, time.perf_counter() - start
+
+
+def _cold_side(technology, circuit, store_dir, queries):
+    """Answer each query the stateless way: fresh session, load, compile."""
+    results = []
+    start = time.perf_counter()
+    for bits in queries:
+        session = EstimationSession(store=store_dir)
+        library = session.library(technology)
+        results.append(session.totals(circuit, library, bits, coalesce=False))
+    return results, time.perf_counter() - start
+
+
+def test_session_serving_throughput(benchmark, d25s, library_d25s, tmp_path):
+    circuit = iscas_like(CIRCUIT, scale=SCALE)
+    rng = np.random.default_rng(SEED)
+    n_pi = len(circuit.primary_inputs)
+    n_warm = THREADS * QUERIES_PER_THREAD
+    queries = [
+        rng.integers(0, 2, size=(n_pi, VECTORS_PER_QUERY), dtype=np.uint8)
+        for _ in range(max(n_warm, COLD_QUERIES))
+    ]
+
+    # One-time setup outside both timed regions: characterize + compile via
+    # the warm session, publish the records for the cold side to load.
+    session = EstimationSession(store=tmp_path)
+    session.register_library(library_d25s)
+    start = time.perf_counter()
+    session.warm_up([circuit], library_d25s)
+    warmup_seconds = time.perf_counter() - start
+    assert session.store.path_for(library_d25s).exists()
+
+    (warm_results, warm_seconds), (cold_results, cold_seconds) = run_once(
+        benchmark,
+        lambda: (
+            _warm_side(session, circuit, library_d25s, queries[:n_warm]),
+            _cold_side(d25s, circuit, tmp_path, queries[:COLD_QUERIES]),
+        ),
+    )
+
+    # Bitwise bars: both sides must reproduce standalone serial evaluation
+    # exactly, whatever batches the coalescer formed.
+    compiled = session.compiled(circuit, library_d25s)
+    oracle = [run_totals(compiled, bits) for bits in queries]
+    warm_identical = all(
+        np.array_equal(got, want) for got, want in zip(warm_results, oracle)
+    )
+    cold_identical = all(
+        np.array_equal(got, want) for got, want in zip(cold_results, oracle)
+    )
+
+    warm_qps = n_warm / warm_seconds if warm_seconds > 0 else float("nan")
+    cold_qps = COLD_QUERIES / cold_seconds if cold_seconds > 0 else float("nan")
+    speedup = warm_qps / cold_qps if cold_qps > 0 else float("nan")
+
+    stats = session.stats()
+    coalescer = stats["coalescer"]
+    record = {
+        "circuit": CIRCUIT,
+        "scale": SCALE,
+        "gates": circuit.gate_count,
+        "seed": SEED,
+        "vectors_per_query": VECTORS_PER_QUERY,
+        "warmup_seconds": warmup_seconds,
+        "warm": {
+            "threads": THREADS,
+            "queries": n_warm,
+            "seconds": warm_seconds,
+            "queries_per_second": warm_qps,
+            "bitwise_identical": warm_identical,
+        },
+        "cold": {
+            "queries": COLD_QUERIES,
+            "seconds": cold_seconds,
+            "queries_per_second": cold_qps,
+            "bitwise_identical": cold_identical,
+        },
+        "speedup": speedup,
+        "coalescing": {
+            "requests": coalescer["requests"],
+            "request_vectors": coalescer["request_vectors"],
+            "batches": coalescer["batches"],
+            "batched_vectors": coalescer["batched_vectors"],
+            "coalesced_requests": coalescer["coalesced_requests"],
+            "max_batch_requests": coalescer["max_batch_requests"],
+        },
+        "compile_cache": {
+            "hits": stats["compile_cache"]["hits"],
+            "misses": stats["compile_cache"]["misses"],
+        },
+    }
+    path = _json_path()
+    path.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(
+        f"warm {warm_qps:.0f} q/s ({THREADS} threads) vs cold "
+        f"{cold_qps:.0f} q/s -> {speedup:.1f}x; "
+        f"{coalescer['requests']} requests in {coalescer['batches']} "
+        f"batch(es) ({path})"
+    )
+
+    assert warm_identical, "warm session totals differ from serial evaluation"
+    assert cold_identical, "cold path totals differ from serial evaluation"
+    assert coalescer["request_vectors"] == coalescer["batched_vectors"]
+    assert coalescer["requests"] == n_warm
+    assert stats["compile_cache"]["misses"] == 1  # the warm-up compile only
+    assert speedup >= MIN_SPEEDUP

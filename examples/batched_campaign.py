@@ -25,8 +25,8 @@ from repro import make_technology
 from repro.circuit.generators import iscas_like
 from repro.circuit.logic import random_vectors
 from repro.core import LoadingAwareEstimator, minimum_leakage_vector, run_vector_campaign
-from repro.engine import compile_circuit
 from repro.gates.characterize import GateLibrary
+from repro.service import EstimationSession
 from repro.utils.tables import format_table
 
 
@@ -37,15 +37,19 @@ def main() -> None:
     circuit = iscas_like("s838", scale=0.25)
     vectors = list(random_vectors(circuit, 100, rng=2005))
 
-    # Compile once: characterizes every (gate type, vector) the circuit can
-    # hit and flattens the response curves into NumPy arrays.  Subsequent
-    # campaigns on the same (circuit, library) reuse the cached compile.
+    # Compile once: the estimation session characterizes every (gate type,
+    # vector) the circuit can hit and flattens the response curves into
+    # NumPy arrays.  Subsequent campaigns routed through the same session
+    # reuse the cached compile (watch session.stats() count the hits).
+    session = EstimationSession()
     start = time.perf_counter()
-    compile_circuit(circuit, library)
+    session.compiled(circuit, library)
     compile_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    batched = run_vector_campaign(estimator, circuit, vectors=vectors)
+    batched = run_vector_campaign(
+        estimator, circuit, vectors=vectors, session=session
+    )
     batched_s = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -69,13 +73,19 @@ def main() -> None:
     # Run-many: the minimum-leakage-vector search reuses the cached compile.
     start = time.perf_counter()
     best_vector, best_total = minimum_leakage_vector(
-        estimator, circuit, count=256, rng=7
+        estimator, circuit, count=256, rng=7, session=session
     )
     search_s = time.perf_counter() - start
     ones = sum(best_vector.values())
     print(
         f"minimum-leakage vector over 256 candidates: {best_total * 1e9:.3f} nA "
         f"({ones}/{len(best_vector)} inputs high) in {search_s:.3f}s"
+    )
+
+    info = session.stats()["compile_cache"]
+    print(
+        f"session compile cache: {info['hits']} hits / {info['misses']} miss "
+        f"({info['entries']} compiled circuit(s) resident)"
     )
 
 

@@ -18,7 +18,10 @@ of Nano-Scaled Bulk-CMOS Logic Circuits" (Mukhopadhyay, Bhunia, Roy — DATE
   arrays and answers whole vector sets / Monte-Carlo fleets at once
   (:mod:`repro.engine`);
 * process-variation Monte-Carlo analysis (:mod:`repro.variation`);
-* per-figure experiment drivers (:mod:`repro.experiments`).
+* per-figure experiment drivers (:mod:`repro.experiments`);
+* a compile-once / query-many service layer — long-lived estimation
+  sessions owning the compile cache, a disk-backed library store and a
+  coalescing request front-end (:mod:`repro.service`).
 
 Quickstart
 ----------
@@ -52,10 +55,12 @@ __all__ = [
     "TechnologyParams",
     "make_device",
     "make_technology",
+    "EstimationSession",
     "GateLibrary",
     "LoadingAwareEstimator",
     "ParallelMonteCarlo",
     "compile_circuit",
+    "default_session",
     "lint_circuit",
     "preflight_circuit",
     "__version__",
@@ -68,6 +73,14 @@ def __getattr__(name: str):
     Importing :mod:`repro` should stay cheap; the gate library and estimator
     pull in the characterization machinery only when actually requested.
     """
+    if name == "EstimationSession":
+        from repro.service import EstimationSession
+
+        return EstimationSession
+    if name == "default_session":
+        from repro.service import default_session
+
+        return default_session
     if name == "GateLibrary":
         from repro.gates import GateLibrary
 

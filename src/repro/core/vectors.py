@@ -18,7 +18,6 @@ the per-vector scalar path, which the regression tests use as the oracle.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol, Sequence
 
@@ -122,13 +121,26 @@ def _run_batched_campaign(
     estimator: LoadingAwareEstimator,
     circuit: Circuit,
     vectors: list[dict[str, int]],
+    session=None,
 ) -> VectorCampaignResult:
-    """Evaluate ``vectors`` through the compiled batched engine."""
-    from repro.engine import compile_circuit, run_compiled
-    from repro.engine.campaign import LazyReports
+    """Evaluate ``vectors`` through an estimation session's batched engine.
 
-    compiled = compile_circuit(circuit, estimator.library)
-    run = run_compiled(compiled, vectors, include_loading=estimator.include_loading)
+    Routed through :class:`repro.service.EstimationSession` so repeated
+    campaigns against the same circuit reuse one compiled instance.
+    ``coalesce=False``: this is a synchronous single-caller path, so paying
+    the batch window would buy nothing — coalescing is for the session's
+    concurrent front-end users.
+    """
+    from repro.engine.campaign import LazyReports
+    from repro.service import default_session
+
+    run = (session or default_session()).campaign(
+        circuit,
+        estimator.library,
+        vectors,
+        include_loading=estimator.include_loading,
+        coalesce=False,
+    )
     return VectorCampaignResult(
         circuit_name=circuit.name,
         method=run.method,
@@ -146,6 +158,7 @@ def run_vector_campaign(
     rng: RngLike = None,
     engine: str = "auto",
     lint: str = "raise",
+    session=None,
 ) -> VectorCampaignResult:
     """Run ``estimator`` over a vector set and collect the reports.
 
@@ -159,6 +172,11 @@ def run_vector_campaign(
         ``"auto"`` routes library-backed estimators through the batched
         engine; ``"batched"`` requires it; ``"scalar"`` forces the
         per-vector scalar path (the cross-check oracle).
+    session:
+        Optional :class:`repro.service.EstimationSession` the batched path
+        compiles through; default is the process-default session, so
+        repeated campaigns share one warm compile cache.  Session routing
+        never changes numbers.
     lint:
         Netlist pre-flight policy (:func:`repro.analysis.preflight_circuit`).
         Under the default ``"raise"`` a malformed circuit — or an explicit
@@ -180,7 +198,7 @@ def run_vector_campaign(
         circuit, lint=lint, vectors=vectors if explicit_vectors else None
     )
     if vectors and use_batched:
-        return _run_batched_campaign(estimator, circuit, vectors)
+        return _run_batched_campaign(estimator, circuit, vectors, session)
     reports = [estimator.estimate(circuit, vector) for vector in vectors]
     method = reports[0].method if reports else getattr(estimator, "method_name", "?")
     return VectorCampaignResult(
@@ -269,6 +287,7 @@ def minimum_leakage_vector(
     islands: int = 1,
     max_workers: int | None = None,
     lint: str = "raise",
+    session=None,
 ) -> tuple[dict[str, int], float]:
     """Return the input vector with the lowest estimated total leakage.
 
@@ -306,6 +325,11 @@ def minimum_leakage_vector(
     lint:
         Netlist pre-flight policy (``"raise"`` | ``"warn"`` | ``"off"``);
         explicit ``vectors=`` sets are additionally width-checked (NL007).
+    session:
+        Optional :class:`repro.service.EstimationSession` the batched
+        paths compile through (default: the process-default session); also
+        forwarded to :func:`repro.optimize.minimize_leakage` for the
+        heuristic strategies.
 
     Returns the (assignment, total leakage in amperes) pair.  The paper notes
     that the winning vector can differ between loading-aware and no-loading
@@ -368,6 +392,7 @@ def minimum_leakage_vector(
                 islands=islands,
                 max_workers=max_workers,
                 options=strategy_options,
+                session=session,
             )
             return result.best_assignment, result.best_total
         # strategy='exhaustive' without the batched engine (non-library
@@ -407,23 +432,23 @@ def minimum_leakage_vector(
     best_vector: dict[str, int] | None = None
     best_total = float("inf")
     if use_batched:
-        from repro.engine import compile_circuit, run_compiled
-        from repro.engine.campaign import DEFAULT_CHUNK_SIZE
+        from repro.service import default_session
 
-        compiled = compile_circuit(circuit, estimator.library)
-        candidate_iter = iter(candidates)
-        while True:
-            chunk = list(itertools.islice(candidate_iter, DEFAULT_CHUNK_SIZE))
-            if not chunk:
-                break
-            run = run_compiled(
-                compiled, chunk, include_loading=estimator.include_loading
-            )
+        # Stream through the session: exhaustive sweeps never materialize
+        # 2**n vectors at once, and each per-chunk run is discarded after
+        # its running minimum is folded in.
+        sess = session or default_session()
+        for run in sess.iter_campaign(
+            circuit,
+            estimator.library,
+            candidates,
+            include_loading=estimator.include_loading,
+        ):
             totals = run.component_totals()["total"]
             best = int(np.argmin(totals))
             if totals[best] < best_total:
                 best_total = float(totals[best])
-                best_vector = dict(chunk[best])
+                best_vector = dict(run.assignments[best])
     else:
         for vector in candidates:
             total = estimator.estimate(circuit, vector).total

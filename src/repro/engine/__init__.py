@@ -28,22 +28,30 @@ from repro.engine.campaign import (
     run_totals,
 )
 from repro.engine.compile import (
+    CompileCache,
+    CompileCacheInfo,
     CompiledCircuit,
     GateTypeTable,
     clear_compile_cache,
+    compile_cache_info,
     compile_circuit,
+    default_compile_cache,
 )
 from repro.engine.parallel import ParallelMonteCarlo, ParallelReferenceCampaign
 
 __all__ = [
     "BatchedCampaignRun",
+    "CompileCache",
+    "CompileCacheInfo",
     "CompiledCircuit",
     "GateTypeTable",
     "LazyReports",
     "ParallelMonteCarlo",
     "ParallelReferenceCampaign",
     "clear_compile_cache",
+    "compile_cache_info",
     "compile_circuit",
+    "default_compile_cache",
     "run_compiled",
     "run_totals",
 ]

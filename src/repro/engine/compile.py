@@ -23,7 +23,9 @@ array passes (see :mod:`repro.engine.campaign`) and is cached per
 
 from __future__ import annotations
 
+import threading
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -326,14 +328,163 @@ def _fingerprint(circuit: Circuit) -> tuple:
     )
 
 
-#: Per-library compile cache; the library key is weak so dropping a library
-#: frees its compiled circuits, while values keep their circuit alive.
-_COMPILE_CACHE: "weakref.WeakKeyDictionary[GateLibrary, dict[tuple, CompiledCircuit]]"
-_COMPILE_CACHE = weakref.WeakKeyDictionary()
+#: Default entry bound of a :class:`CompileCache`.  Compiled circuits carry
+#: dense response tensors (every gate type's full (vector, pin, grid, 3)
+#: table), so the bound exists to keep a long-lived session from growing
+#: without limit — 128 distinct (circuit, library) pairs is far beyond any
+#: current workload while still capping worst-case memory.
+DEFAULT_COMPILE_CACHE_SIZE = 128
+
+
+@dataclass(frozen=True)
+class CompileCacheInfo:
+    """Counters of one :class:`CompileCache` (``functools.cache_info`` style).
+
+    ``hits``/``misses`` count lookups, ``evictions`` counts entries dropped
+    — by the LRU bound or because their library was garbage-collected — and
+    ``entries``/``maxsize`` describe the current occupancy.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    maxsize: int
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dict (stats/JSON surfaces)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "maxsize": self.maxsize,
+        }
+
+
+class CompileCache:
+    """Bounded LRU of :class:`CompiledCircuit` keyed by (library, structure).
+
+    The cache the sessions of :mod:`repro.service` are built around: a
+    long-lived object owning the compiled-circuit store that used to be a
+    module-level detail, with ``cache_info()`` counters so its behavior is
+    observable.  Keys pair the *identity* of a :class:`GateLibrary` (held
+    weakly — dropping a library frees its compiled circuits) with the
+    structural circuit fingerprint, so structural copies share one entry.
+
+    All operations are serialized by an internal lock, including the
+    compile itself: concurrent lookups of the same key must not
+    characterize the same (gate type, vector) twice through
+    ``GateLibrary``'s non-thread-safe lazy cache, and a compile is far too
+    expensive to risk duplicating.  This is what lets the coalescing
+    front-end of :class:`repro.service.EstimationSession` accept requests
+    from many threads.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_COMPILE_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self._maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[int, tuple], CompiledCircuit] = OrderedDict()
+        #: Keep one weak reference per live library so its entries are
+        #: purged when the library is collected (the old WeakKeyDictionary
+        #: semantics, preserved under the flat LRU keying).
+        self._library_refs: dict[int, weakref.ref] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Return the LRU entry bound."""
+        return self._maxsize
+
+    def cache_info(self) -> CompileCacheInfo:
+        """Return a snapshot of the hit/miss/eviction/occupancy counters."""
+        with self._lock:
+            return CompileCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                maxsize=self._maxsize,
+            )
+
+    def get_or_compile(
+        self, circuit: Circuit, library: GateLibrary, lint: str = "raise"
+    ) -> CompiledCircuit:
+        """Return the cached compile of ``(circuit, library)``, building it once.
+
+        A hit returns the previously linted instance as-is; a miss compiles
+        under the cache lock (see the class docstring for why) and may
+        evict the least-recently-used entry once the bound is reached.
+        """
+        key = (id(library), _fingerprint(circuit))
+        with self._lock:
+            compiled = self._entries.get(key)
+            if compiled is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return compiled
+            self._misses += 1
+            compiled = CompiledCircuit(circuit, library, lint=lint)
+            self._remember_library(library)
+            self._entries[key] = compiled
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return compiled
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._library_refs.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _remember_library(self, library: GateLibrary) -> None:
+        """Register a purge-on-collect weak reference for ``library``."""
+        library_id = id(library)
+        if library_id in self._library_refs:
+            return
+
+        def _purge(_ref: weakref.ref, cache: "CompileCache" = self) -> None:
+            with cache._lock:
+                cache._library_refs.pop(library_id, None)
+                stale = [k for k in cache._entries if k[0] == library_id]
+                for k in stale:
+                    del cache._entries[k]
+                    cache._evictions += 1
+
+        self._library_refs[library_id] = weakref.ref(library, _purge)
+
+
+#: Process-default compile cache shared by :func:`compile_circuit` callers
+#: and :func:`repro.service.default_session`, so legacy direct compiles and
+#: session-routed estimation hit the same warm entries.
+_DEFAULT_CACHE = CompileCache()
+
+
+def default_compile_cache() -> CompileCache:
+    """Return the process-default :class:`CompileCache`."""
+    return _DEFAULT_CACHE
+
+
+def compile_cache_info() -> CompileCacheInfo:
+    """Return the default cache's :meth:`CompileCache.cache_info`."""
+    return _DEFAULT_CACHE.cache_info()
 
 
 def compile_circuit(
-    circuit: Circuit, library: GateLibrary, cache: bool = True, lint: str = "raise"
+    circuit: Circuit,
+    library: GateLibrary,
+    cache: bool = True,
+    lint: str = "raise",
+    store: CompileCache | None = None,
 ) -> CompiledCircuit:
     """Return the (cached) :class:`CompiledCircuit` for ``(circuit, library)``.
 
@@ -342,7 +493,10 @@ def compile_circuit(
     characterizes every input vector of every gate type present in the
     circuit — the one-time "characterize once, answer campaigns as lookups"
     cost.  Pass ``cache=False`` to force a fresh compile (e.g. after
-    mutating a library's records in place).
+    mutating a library's records in place); ``store`` selects which
+    :class:`CompileCache` answers the lookup (default: the shared
+    process-default cache — long-lived :class:`repro.service.EstimationSession`
+    objects pass their own).
 
     ``lint`` is the netlist pre-flight policy
     (:func:`repro.analysis.preflight_circuit`): ``"raise"`` (default)
@@ -354,18 +508,9 @@ def compile_circuit(
     """
     if not cache:
         return CompiledCircuit(circuit, library, lint=lint)
-    per_library = _COMPILE_CACHE.get(library)
-    if per_library is None:
-        per_library = {}
-        _COMPILE_CACHE[library] = per_library
-    key = _fingerprint(circuit)
-    compiled = per_library.get(key)
-    if compiled is None:
-        compiled = CompiledCircuit(circuit, library, lint=lint)
-        per_library[key] = compiled
-    return compiled
+    return (store or _DEFAULT_CACHE).get_or_compile(circuit, library, lint=lint)
 
 
 def clear_compile_cache() -> None:
-    """Drop every cached :class:`CompiledCircuit`."""
-    _COMPILE_CACHE.clear()
+    """Drop every entry of the default cache and reset its counters."""
+    _DEFAULT_CACHE.clear()

@@ -68,6 +68,9 @@ class Fig12Result:
 
     technology_name: str
     entries: list[Fig12CircuitEntry] = field(default_factory=list)
+    #: Session counter deltas this figure generated (compile-cache hits /
+    #: misses, coalescer traffic, ...) — see ``EstimationSession.stats()``.
+    cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def entry(self, name: str) -> Fig12CircuitEntry:
         """Return one circuit's entry by name."""
@@ -134,6 +137,7 @@ def run_fig12_circuit_estimation(
     rng: RngLike = 0,
     reference_engine: str = "batched",
     reference_chunk_size: int = DEFAULT_REFERENCE_CHUNK_SIZE,
+    session=None,
 ) -> Fig12Result:
     """Run the Fig. 12 campaign over ``circuits``.
 
@@ -160,23 +164,38 @@ def run_fig12_circuit_estimation(
     reference_chunk_size:
         Vectors per batched reference solve (peak-memory bound; results are
         bitwise independent of it).
+    session:
+        Optional :class:`repro.service.EstimationSession` every campaign of
+        the sweep routes through (default: the process-default session).
+        A sweep sharing one session compiles each circuit once — the
+        loading-aware, no-loading and validation campaigns all hit the
+        session cache — and when ``library`` is omitted the session's
+        registry supplies it.  The result records the cache traffic this
+        figure generated in :attr:`Fig12Result.cache_stats`.
     """
+    from repro.service import default_session, stats_delta
     if reference_engine not in REFERENCE_ENGINES:
         raise ValueError(
             f"reference_engine must be one of {REFERENCE_ENGINES}, "
             f"got {reference_engine!r}"
         )
+    sess = session or default_session()
     technology = technology or make_technology("d25-s")
-    library = library or GateLibrary(technology)
+    library = library or sess.library(technology)
     estimator = LoadingAwareEstimator(library)
     baseline = NoLoadingEstimator(library)
     generator = ensure_rng(rng)
+    stats_before = sess.stats()
 
     result = Fig12Result(technology_name=technology.name)
     for name, circuit in circuits.items():
         vector_list = list(random_vectors(circuit, vectors, generator))
-        with_loading = run_vector_campaign(estimator, circuit, vectors=vector_list)
-        without_loading = run_vector_campaign(baseline, circuit, vectors=vector_list)
+        with_loading = run_vector_campaign(
+            estimator, circuit, vectors=vector_list, session=sess
+        )
+        without_loading = run_vector_campaign(
+            baseline, circuit, vectors=vector_list, session=sess
+        )
         impact = loading_impact_statistics(with_loading, without_loading)
 
         estimated_power = (
@@ -202,7 +221,9 @@ def run_fig12_circuit_estimation(
                 engine=reference_engine,
                 chunk_size=reference_chunk_size,
             )
-            est_campaign = run_vector_campaign(estimator, circuit, vectors=ref_vectors)
+            est_campaign = run_vector_campaign(
+                estimator, circuit, vectors=ref_vectors, session=sess
+            )
             entry.reference_power_uw = watts_to_microwatts(
                 ref_campaign.mean_total() * technology.vdd
             )
@@ -219,4 +240,5 @@ def run_fig12_circuit_estimation(
             entry.reference_engine = reference_engine
 
         result.entries.append(entry)
+    result.cache_stats = stats_delta(stats_before, sess.stats())
     return result

@@ -27,7 +27,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuit.netlist import Circuit
-from repro.engine.compile import compile_circuit
 from repro.gates.characterize import GateLibrary
 from repro.optimize import (
     GeneticOptions,
@@ -75,6 +74,9 @@ class IvcStudyResult:
     technology_name: str
     seed: int | None
     results: list[IvcCircuitResult] = field(default_factory=list)
+    #: Session counter deltas this study generated (compile-cache hits /
+    #: misses, ...) — see ``EstimationSession.stats()``.
+    cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def to_table(self) -> str:
         """Render per-circuit best totals (nA) and optimizer gains."""
@@ -122,19 +124,28 @@ def run_ivc_study(
     max_workers: int | None = None,
     include_loading: bool = True,
     oracle_inputs: int = EXHAUSTIVE_STUDY_INPUTS,
+    session=None,
 ) -> IvcStudyResult:
     """Run the searched-vs-sampled comparison on every circuit.
 
     Per circuit, three spawned streams (greedy, genetic, random baseline)
     derive from one child sequence of ``seed``, so the whole study is
     reproducible from the single root and each part is insensitive to the
-    others' consumption.
+    others' consumption.  Circuits compile through ``session`` (default:
+    the process-default :class:`repro.service.EstimationSession`), so a
+    study re-run — or a study riding behind another experiment over the
+    same suite — skips straight to the search; the result records the
+    cache traffic in :attr:`IvcStudyResult.cache_stats`.
     """
+    from repro.service import default_session, stats_delta
+
+    sess = session or default_session()
     study = IvcStudyResult(technology_name=library.technology.name, seed=seed)
+    stats_before = sess.stats()
     circuit_streams = spawn_streams(seed, len(circuits))
     for circuit, stream in zip(circuits, circuit_streams):
         greedy_rng, genetic_rng, random_rng = spawn_streams(stream, 3)
-        compiled = compile_circuit(circuit, library)
+        compiled = sess.compiled(circuit, library)
         greedy = greedy_minimize(
             compiled,
             include_loading=include_loading,
@@ -174,4 +185,5 @@ def run_ivc_study(
                 exhaustive_best=exhaustive_best,
             )
         )
+    study.cache_stats = stats_delta(stats_before, sess.stats())
     return study

@@ -29,7 +29,7 @@ from repro.core.estimator import LoadingAwareEstimator
 from repro.core.reference import ReferenceSimulator
 from repro.device.params import TechnologyParams
 from repro.device.presets import make_technology
-from repro.engine import compile_circuit, run_compiled
+from repro.engine import run_compiled
 from repro.gates.characterize import GateLibrary
 from repro.utils.rng import RngLike
 from repro.utils.tables import format_table
@@ -72,6 +72,10 @@ class RuntimeComparison:
     solver_backends: str = ""
     reference_solver_method: str = ""
     reference_sweeps_mean: float = float("nan")
+    #: Compile-cache traffic this comparison generated on its session —
+    #: a shared warm session shows hits where a cold one shows a miss.
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
 
     @property
     def speedup(self) -> float:
@@ -107,6 +111,8 @@ class RuntimeComparison:
             ["cell solver backends used", self.solver_backends or "n/a"],
             ["reference solver method", self.reference_solver_method or "n/a"],
             ["reference sweeps per solve (mean)", self.reference_sweeps_mean],
+            ["compile-cache hits", self.compile_cache_hits],
+            ["compile-cache misses", self.compile_cache_misses],
             ["speed-up ref/estimator [x]", self.speedup],
             ["speed-up estimator/batched [x]", self.batched_speedup],
             ["speed-up ref/batched [x]", self.reference_vs_batched],
@@ -120,6 +126,7 @@ def run_runtime_comparison(
     library: GateLibrary | None = None,
     vectors: int = 3,
     rng: RngLike = 0,
+    session=None,
 ) -> RuntimeComparison:
     """Time the three estimation paths on the same random vectors.
 
@@ -128,10 +135,22 @@ def run_runtime_comparison(
     vector, exactly like the SPICE-model extraction it replaces.  For the
     batched engine the circuit compile is timed separately and excluded from
     the per-campaign figure — it is the analogous one-time cost, amortized
-    across campaigns by the compile cache.
+    across campaigns by the session compile cache.
+
+    ``session`` (default: the process-default
+    :class:`repro.service.EstimationSession`) owns that cache: a sweep that
+    passes one shared session pays the compile once per circuit and the
+    result records the cache traffic (``compile_cache_hits``/``misses``)
+    this comparison generated, so a warm "engine compile time" of ~0 s is
+    attributable rather than mysterious.  When ``library`` is omitted the
+    session's fingerprint-keyed registry supplies it, so sweeps also share
+    one characterized library per technology.
     """
+    from repro.service import default_session
+
+    sess = session or default_session()
     technology = technology or make_technology("d25-s")
-    library = library or GateLibrary(technology)
+    library = library or sess.library(technology)
     estimator = LoadingAwareEstimator(library)
     reference = ReferenceSimulator(technology)
     vector_list = list(random_vectors(circuit, vectors, rng))
@@ -152,9 +171,11 @@ def run_runtime_comparison(
         estimator.estimate(circuit, vector)
     estimator_seconds = time.perf_counter() - start
 
+    cache_before = sess.compile_cache.cache_info()
     start = time.perf_counter()
-    compiled = compile_circuit(circuit, library)
+    compiled = sess.compiled(circuit, library)
     compile_seconds = time.perf_counter() - start
+    cache_after = sess.compile_cache.cache_info()
 
     start = time.perf_counter()
     run_compiled(compiled, vector_list)
@@ -194,4 +215,6 @@ def run_runtime_comparison(
             if reference_sweeps
             else float("nan")
         ),
+        compile_cache_hits=cache_after.hits - cache_before.hits,
+        compile_cache_misses=cache_after.misses - cache_before.misses,
     )

@@ -10,6 +10,10 @@ Public entry points:
 * :func:`save_library` / :func:`load_library` — JSON persistence of the
   characterization cache, fingerprinted with the full technology +
   characterization settings so stale records are refused on load;
+* :class:`LibraryStore` — a fingerprint-keyed on-disk directory of those
+  cache files (atomic write+rename publish, convergent-union merge, safe
+  under concurrent multi-process writers) so a fleet of workers shares one
+  warm characterization cache;
 * :func:`set_extrapolation_policy` — process-wide policy for response-curve
   lookups outside the characterized injection range.
 """
@@ -34,6 +38,7 @@ from repro.gates.characterize import (
     GateLibrary,
 )
 from repro.gates.cache import (
+    LibraryStore,
     characterization_fingerprint,
     load_library,
     save_library,
@@ -54,6 +59,7 @@ __all__ = [
     "CharacterizationOptions",
     "GateCharacterizer",
     "GateLibrary",
+    "LibraryStore",
     "characterization_fingerprint",
     "load_library",
     "save_library",

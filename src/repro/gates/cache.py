@@ -21,6 +21,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -238,3 +239,109 @@ def load_library(library: GateLibrary, path: str | Path, strict: bool = True) ->
     records = [record_from_dict(item) for item in payload["records"]]
     library.load_records(records)
     return len(records)
+
+
+class LibraryStore:
+    """Fingerprint-keyed on-disk store of characterized libraries.
+
+    One directory holds one cache file per (technology, characterization
+    settings) pair, named ``{technology}-g{generation}-{fingerprint16}.json``
+    — the fingerprint is the SHA-256 settings digest of
+    :func:`characterization_fingerprint`, so records characterized under
+    different settings can never be conflated.  The store is safe under
+    concurrent multi-process writers: every publish writes to a
+    process-unique temporary file and renames it into place (atomic on
+    POSIX), so readers only ever see complete, fingerprinted files, and a
+    publish merges whatever is on disk first (records are deterministic for
+    a fingerprint, so the union monotonically converges to the full record
+    set instead of ping-ponging partial per-worker views).
+
+    ``generation`` is a filename salt for cache consumers whose validity
+    depends on more than the settings fingerprint — the fingerprint covers
+    technology/options/temperature but *not* the model code itself, so a
+    persistent store should bump the generation (or wipe the directory)
+    when solver or device numerics change.
+
+    Loads are strict-fingerprint with graceful fallback: a missing file, a
+    mismatched fingerprint or a torn/corrupt payload loads zero records
+    (counted in :attr:`load_failures`) and characterization proceeds as if
+    no cache existed — a stale store can never poison a run.
+    """
+
+    def __init__(self, directory: str | Path, generation: int = 0) -> None:
+        self.directory = Path(directory)
+        self.generation = int(generation)
+        #: Counters surfaced through ``EstimationSession.stats()``.
+        self.loads = 0
+        self.load_failures = 0
+        self.records_loaded = 0
+        self.publishes = 0
+        self.records_published = 0
+
+    def path_for(self, library: GateLibrary) -> Path:
+        """Return the cache path of ``library``'s settings fingerprint."""
+        _, fingerprint = _library_settings(library)
+        return self.directory / (
+            f"{library.technology.name}-g{self.generation}-{fingerprint[:16]}.json"
+        )
+
+    def load(self, library: GateLibrary) -> int:
+        """Warm ``library`` from the store; return the record count loaded.
+
+        Only a complete file whose fingerprint matches the library's full
+        characterization settings contributes records; anything else
+        (missing, mismatched, torn) falls back to zero records loaded.
+        """
+        count = self._load_silently(library)
+        self.loads += 1
+        self.records_loaded += count
+        return count
+
+    def publish(self, library: GateLibrary) -> int:
+        """Publish ``library``'s cached records; return the count written.
+
+        Convergent-union publish: records already on disk under the same
+        fingerprint are merged in first (another worker may have published
+        records this one never touched), and the file is only rewritten
+        when the union actually grew — so the store converges monotonically
+        to the full record set under any number of concurrent writers.
+        Returns 0 when nothing new was written.
+        """
+        on_disk = self._load_silently(library)
+        records = library.cached_records()
+        if len(records) <= on_disk:
+            return 0
+        path = self.path_for(library)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            save_library(library, tmp)
+            tmp.replace(path)
+        except OSError:
+            # Disk full, permissions, ... — the store is an optimization,
+            # never a correctness dependency; leave no partial file behind.
+            tmp.unlink(missing_ok=True)
+            return 0
+        self.publishes += 1
+        self.records_published += len(records)
+        return len(records)
+
+    def stats(self) -> dict[str, int]:
+        """Return the load/publish counters as a plain dict."""
+        return {
+            "loads": self.loads,
+            "load_failures": self.load_failures,
+            "records_loaded": self.records_loaded,
+            "publishes": self.publishes,
+            "records_published": self.records_published,
+        }
+
+    def _load_silently(self, library: GateLibrary) -> int:
+        """Strict load with graceful fallback; failures count, never raise."""
+        path = self.path_for(library)
+        if not path.exists():
+            return 0
+        try:
+            return load_library(library, path, strict=True)
+        except (ValueError, KeyError, OSError):
+            self.load_failures += 1
+            return 0

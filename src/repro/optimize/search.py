@@ -592,14 +592,15 @@ def minimize_leakage(
     max_workers: int | None = None,
     options: GreedyOptions | GeneticOptions | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    session=None,
 ) -> OptimizationResult:
     """Search the minimum-leakage vector for a library-backed estimator.
 
     The front door of the subsystem (and the target of
     ``minimum_leakage_vector(strategy=...)``): compiles ``circuit`` against
-    ``estimator.library`` (cached — repeated searches reuse the arrays),
-    scores candidates with or without loading to match the estimator, and
-    dispatches on ``strategy``.
+    ``estimator.library`` through an estimation session (cached — repeated
+    searches reuse the arrays), scores candidates with or without loading
+    to match the estimator, and dispatches on ``strategy``.
 
     Parameters
     ----------
@@ -616,8 +617,11 @@ def minimize_leakage(
         ``"exhaustive"`` rejects options/islands/max_workers (it is a
         deterministic serial stream) and ignores ``rng`` — the oracle has
         no randomness to seed.
+    session:
+        Optional :class:`repro.service.EstimationSession` owning the
+        compile cache (default: the process-default session).
     """
-    from repro.engine.compile import compile_circuit
+    from repro.service import default_session
 
     if strategy not in SEARCH_STRATEGIES:
         raise ValueError(
@@ -630,7 +634,7 @@ def minimize_leakage(
             "vector search requires a library-backed estimator exposing "
             f"'library' and 'include_loading' (got {type(estimator).__name__})"
         )
-    compiled = compile_circuit(circuit, library)
+    compiled = (session or default_session()).compiled(circuit, library)
     if strategy == "exhaustive":
         # The oracle is deterministic and streams one chunk at a time:
         # search knobs have no meaning here, and silently dropping them

@@ -1,0 +1,44 @@
+"""Service layer: compile-once / query-many estimation sessions.
+
+This package is the serving boundary of the estimator.  Everything below it
+(:mod:`repro.engine`, :mod:`repro.gates`, :mod:`repro.core`) is per-call
+machinery; :class:`EstimationSession` is the long-lived object a deployment
+holds on to — it owns the compiled-circuit LRU, a fingerprint-keyed
+characterized-library registry (optionally disk-backed by a
+:class:`~repro.gates.cache.LibraryStore`), and a request front-end that
+coalesces concurrent vector-estimation requests into single batched engine
+passes.  Session routing never changes numbers: coalesced and cached
+results are bitwise identical to cold per-call evaluation.
+
+Public entry points:
+
+* :class:`EstimationSession` — the session object (``library`` /
+  ``compiled`` / ``totals`` / ``campaign`` / ``iter_campaign`` /
+  ``stats``);
+* :func:`default_session` — the lazily created process-default session
+  the classic entry points route through when no session is passed;
+* :func:`stats_delta` — difference two ``stats()`` snapshots (used by the
+  experiment drivers to report per-figure cache-hit counts);
+* :class:`RequestCoalescer` — the generic dynamic-batching queue, reusable
+  for other batchable evaluations.
+"""
+
+from repro.service.coalesce import (
+    DEFAULT_BATCH_WINDOW_S,
+    DEFAULT_MAX_BATCH_VECTORS,
+    RequestCoalescer,
+)
+from repro.service.session import (
+    EstimationSession,
+    default_session,
+    stats_delta,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_WINDOW_S",
+    "DEFAULT_MAX_BATCH_VECTORS",
+    "EstimationSession",
+    "RequestCoalescer",
+    "default_session",
+    "stats_delta",
+]

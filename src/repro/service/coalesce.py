@@ -1,0 +1,224 @@
+"""Request coalescing: merge concurrent estimation requests into one batch.
+
+The batched engine's cost model is per-*pass*, not per-vector: answering
+200 vectors in one :func:`repro.engine.campaign.run_totals` call costs a
+handful of array passes, the same 200 vectors as 20 separate 10-vector
+calls cost 20x the fixed pass overhead.  A serving front-end therefore
+wants concurrent requests that target the same compiled circuit merged
+into single engine passes.  :class:`RequestCoalescer` implements the
+standard dynamic-batching pattern:
+
+* the first request to arrive for a key opens a batch and becomes its
+  **leader**; it waits out a short batch window (``window_s``) for
+  followers to join;
+* followers append their payload to the open batch and block on their own
+  completion event;
+* the batch flushes when the window expires (a **timeout flush** — a solo
+  or slow-to-gain-company request can never be starved; it just pays the
+  window once) or as soon as the batch reaches ``max_batch_vectors``
+  (a **full flush**, which wakes the leader early);
+* the leader snapshots the batch, *closes* it (so requests arriving while
+  the engine pass runs open a fresh batch instead of waiting behind it),
+  runs the single batched evaluation, and distributes per-request results.
+
+Correctness rests on the repo's standing batch-composition-invariance
+contract: every engine pass computes each vector column independently, so
+the coalesced batch's per-request slices are **bitwise identical** to the
+same requests evaluated one at a time — the property
+``tests/test_service.py`` asserts under real thread concurrency.
+
+The coalescer itself is generic: a submission is an opaque payload plus a
+vector count, and the leader evaluates the whole batch through a caller
+supplied ``run_batch(payloads) -> results`` callable.  All submitters of
+one key must pass equivalent ``run_batch`` callables (the leader's is the
+one that runs); :class:`repro.service.EstimationSession` guarantees this by
+deriving the key and the callable from the same (compiled circuit,
+include_loading) pair.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+#: Default batch window (seconds): how long a batch leader waits for
+#: followers before flushing.  Small enough to be invisible next to an
+#: engine pass, large enough for a burst of concurrent submitters to land
+#: in one batch.
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: Default vector bound per coalesced batch; reaching it flushes early.
+#: Matches the engine's chunking scale so one coalesced batch stays one
+#: memory-bounded pass.
+DEFAULT_MAX_BATCH_VECTORS = 4096
+
+
+@dataclass
+class _Submission:
+    """One request waiting inside a batch."""
+
+    payload: Any
+    n_vectors: int
+    run_batch: Callable[[list[Any]], Sequence[Any]]
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Any = None
+    error: BaseException | None = None
+
+
+@dataclass
+class _Batch:
+    """One open batch: the submissions joined so far and its flush wakeup."""
+
+    deadline: float
+    submissions: list[_Submission] = field(default_factory=list)
+    n_vectors: int = 0
+    #: Set to wake the leader before the deadline (full batch).
+    flush_now: threading.Event = field(default_factory=threading.Event)
+
+
+class RequestCoalescer:
+    """Thread-safe queue merging concurrent submissions into single batches.
+
+    Parameters
+    ----------
+    window_s:
+        Batch window: how long a leader waits for followers.  ``0.0``
+        flushes immediately (no coalescing latency, concurrent requests
+        only merge if they arrive within the same scheduling instant).
+    max_batch_vectors:
+        Flush a batch as soon as its summed vector count reaches this
+        bound, without waiting out the window.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_BATCH_WINDOW_S,
+        max_batch_vectors: int = DEFAULT_MAX_BATCH_VECTORS,
+    ) -> None:
+        if window_s < 0.0:
+            raise ValueError("window_s must be non-negative")
+        if max_batch_vectors < 1:
+            raise ValueError("max_batch_vectors must be positive")
+        self.window_s = float(window_s)
+        self.max_batch_vectors = int(max_batch_vectors)
+        self._lock = threading.Lock()
+        self._open: dict[Hashable, _Batch] = {}
+        # -- counters (all under the lock) --------------------------------- #
+        self._requests = 0
+        self._request_vectors = 0
+        self._batches = 0
+        self._batched_vectors = 0
+        self._timeout_flushes = 0
+        self._full_flushes = 0
+        self._max_batch_requests = 0
+
+    def submit(
+        self,
+        key: Hashable,
+        payload: Any,
+        n_vectors: int,
+        run_batch: Callable[[list[Any]], Sequence[Any]],
+    ) -> Any:
+        """Submit one request; block until its batch is evaluated.
+
+        ``run_batch`` receives the payloads of every submission in the
+        batch, in arrival order, and must return one result per payload in
+        the same order.  The calling thread of the batch's first submission
+        acts as leader and runs the evaluation; followers block on their
+        completion event.  An evaluation error propagates to every request
+        of the batch.
+        """
+        submission = _Submission(
+            payload=payload, n_vectors=int(n_vectors), run_batch=run_batch
+        )
+        with self._lock:
+            self._requests += 1
+            self._request_vectors += submission.n_vectors
+            batch = self._open.get(key)
+            leader = batch is None
+            if batch is None:
+                batch = _Batch(deadline=time.monotonic() + self.window_s)
+                self._open[key] = batch
+            batch.submissions.append(submission)
+            batch.n_vectors += submission.n_vectors
+            if batch.n_vectors >= self.max_batch_vectors:
+                batch.flush_now.set()
+
+        if leader:
+            self._lead(key, batch)
+        else:
+            submission.done.wait()
+        if submission.error is not None:
+            raise submission.error
+        return submission.result
+
+    def stats(self) -> dict[str, int]:
+        """Return a snapshot of the request/batch counters.
+
+        ``requests``/``request_vectors`` count every submission;
+        ``batches``/``batched_vectors`` count the engine passes actually
+        run — their difference is the work coalescing saved.  Every request
+        is accounted for: ``request_vectors == batched_vectors`` and
+        ``batches == timeout_flushes + full_flushes`` at quiescence.
+        """
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "request_vectors": self._request_vectors,
+                "batches": self._batches,
+                "batched_vectors": self._batched_vectors,
+                "coalesced_requests": self._requests - self._batches,
+                "timeout_flushes": self._timeout_flushes,
+                "full_flushes": self._full_flushes,
+                "max_batch_requests": self._max_batch_requests,
+            }
+
+    # ------------------------------------------------------------------ #
+    # leader side
+    # ------------------------------------------------------------------ #
+    def _lead(self, key: Hashable, batch: _Batch) -> None:
+        """Wait out the batch window, then flush ``batch`` and distribute."""
+        while not batch.flush_now.is_set():
+            remaining = batch.deadline - time.monotonic()
+            if remaining <= 0.0:
+                break
+            batch.flush_now.wait(timeout=remaining)
+
+        with self._lock:
+            # Close the batch: late arrivals open a fresh one and are led
+            # by their own first submitter, so a long-running evaluation
+            # (a deliberately slow request) can never starve the window of
+            # the requests behind it.
+            if self._open.get(key) is batch:
+                del self._open[key]
+            submissions = list(batch.submissions)
+            full = batch.n_vectors >= self.max_batch_vectors
+            self._batches += 1
+            self._batched_vectors += batch.n_vectors
+            self._max_batch_requests = max(
+                self._max_batch_requests, len(submissions)
+            )
+            if full:
+                self._full_flushes += 1
+            else:
+                self._timeout_flushes += 1
+
+        try:
+            results = submissions[0].run_batch([s.payload for s in submissions])
+            if len(results) != len(submissions):
+                raise RuntimeError(
+                    f"run_batch returned {len(results)} results for "
+                    f"{len(submissions)} submissions"
+                )
+            for submission, result in zip(submissions, results):
+                submission.result = result
+        except BaseException as exc:
+            for submission in submissions:
+                submission.error = exc
+        finally:
+            # The leader's own error surfaces through the common check in
+            # submit(), exactly like a follower's.
+            for submission in submissions:
+                submission.done.set()

@@ -1,0 +1,440 @@
+"""Compile-once / query-many estimation sessions.
+
+Every estimation entry point of this repo used to re-thread the same
+plumbing per call: characterize (or fetch) a library, compile the circuit
+against it, pick an engine mode, run.  :class:`EstimationSession` extracts
+that boundary into one long-lived object — the shape a serving layer needs:
+
+* a **compiled-circuit cache** (:class:`repro.engine.compile.CompileCache`,
+  bounded LRU with hit/miss/eviction counters) so repeated queries against
+  the same circuit skip straight to the array passes;
+* a **fingerprint-keyed library registry**, optionally backed by an
+  on-disk :class:`repro.gates.cache.LibraryStore` so a fleet of worker
+  processes shares one warm characterization cache;
+* a **coalescing request front-end** (:mod:`repro.service.coalesce`):
+  concurrent ``totals``/``campaign`` calls from many threads merge into
+  single batched :func:`~repro.engine.campaign.run_totals` /
+  :func:`~repro.engine.campaign.run_compiled` engine passes inside a small
+  batch window, plus streaming iteration for campaign-sized results.
+
+**Invariance contract.**  Coalescing and session routing never change
+numbers: every engine pass computes vector columns independently
+(batch-composition invariance, pinned by the engine test suite), so a
+coalesced batch's per-request slices are bitwise identical to the same
+requests evaluated serially one at a time, and a cache hit returns the
+exact object a cold compile would rebuild.  ``tests/test_service.py``
+asserts both under real thread concurrency.
+
+The classic entry points (:func:`repro.core.vectors.run_vector_campaign`,
+:func:`repro.core.vectors.minimum_leakage_vector`,
+:func:`repro.optimize.minimize_leakage`, the experiment drivers) are thin
+adapters over a session: they accept ``session=`` and otherwise route
+through the process-default session of :func:`default_session`, whose
+compile cache is the same object legacy direct
+:func:`~repro.engine.compile.compile_circuit` calls hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.engine.campaign import (
+    BatchedCampaignRun,
+    DEFAULT_CHUNK_SIZE,
+    run_compiled,
+    run_totals,
+)
+from repro.engine.compile import (
+    CompileCache,
+    CompiledCircuit,
+    default_compile_cache,
+)
+from repro.gates.cache import LibraryStore, characterization_fingerprint
+from repro.gates.characterize import CharacterizationOptions, GateLibrary
+from repro.service.coalesce import (
+    DEFAULT_BATCH_WINDOW_S,
+    DEFAULT_MAX_BATCH_VECTORS,
+    RequestCoalescer,
+)
+
+
+def _slice_run(run: BatchedCampaignRun, lo: int, hi: int) -> BatchedCampaignRun:
+    """Return vectors ``[lo, hi)`` of a batched run as a standalone run.
+
+    Every array of a :class:`BatchedCampaignRun` is keyed by vector column
+    and every column is computed independently, so slicing is exact: the
+    returned run is bitwise identical to evaluating those vectors alone.
+    ``runtime_s`` (metadata, not numerics) carries the batch's wall clock
+    pro-rated by vector share, so per-request runtimes still sum to the
+    batch total.
+    """
+    count = max(run.vector_count, 1)
+    return BatchedCampaignRun(
+        compiled=run.compiled,
+        method=run.method,
+        assignments=run.assignments[lo:hi],
+        per_gate=run.per_gate[:, lo:hi].copy(),
+        vec_index=run.vec_index[:, lo:hi].copy(),
+        input_loading=run.input_loading[:, lo:hi].copy(),
+        output_loading=run.output_loading[:, lo:hi].copy(),
+        runtime_s=run.runtime_s * (hi - lo) / count,
+    )
+
+
+class EstimationSession:
+    """A long-lived compile-once / query-many estimation service core.
+
+    Parameters
+    ----------
+    store:
+        Optional on-disk characterization store — a
+        :class:`~repro.gates.cache.LibraryStore` or a directory path.
+        Libraries created through :meth:`library` are warmed from it and
+        published back after characterization grows them.
+    compile_cache:
+        The compiled-circuit LRU this session owns.  Default: a fresh
+        private :class:`~repro.engine.compile.CompileCache` (isolated
+        statistics); :func:`default_session` instead shares the
+        process-default cache with direct ``compile_circuit`` callers.
+    batch_window_s / max_batch_vectors:
+        Coalescing knobs (see :class:`~repro.service.coalesce.RequestCoalescer`):
+        how long a request waits for concurrent company, and the vector
+        count that flushes a batch early.
+    lint:
+        Netlist pre-flight policy applied when a circuit is first compiled
+        (cache hits return the already-linted instance).
+
+    Thread safety: ``totals``/``campaign``/``compiled``/``library`` may be
+    called from any number of threads; compiles and library registration
+    are serialized, engine passes run outside the session lock.
+    """
+
+    def __init__(
+        self,
+        store: LibraryStore | str | Path | None = None,
+        compile_cache: CompileCache | None = None,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        max_batch_vectors: int = DEFAULT_MAX_BATCH_VECTORS,
+        lint: str = "raise",
+    ) -> None:
+        if store is not None and not isinstance(store, LibraryStore):
+            store = LibraryStore(store)
+        self.store: LibraryStore | None = store
+        self.compile_cache = compile_cache or CompileCache()
+        self.lint = lint
+        self._coalescer = RequestCoalescer(
+            window_s=batch_window_s, max_batch_vectors=max_batch_vectors
+        )
+        self._lock = threading.Lock()
+        self._libraries: dict[str, GateLibrary] = {}
+        self._library_hits = 0
+        self._library_misses = 0
+        self._requests = 0
+
+    # ------------------------------------------------------------------ #
+    # characterized-library registry
+    # ------------------------------------------------------------------ #
+    def library(
+        self,
+        technology: Any,
+        options: CharacterizationOptions | None = None,
+        temperature_k: float | None = None,
+    ) -> GateLibrary:
+        """Return the session's library for these characterization settings.
+
+        Keyed by the SHA-256 settings fingerprint (full technology tree +
+        options + temperature), so two figures asking for the same
+        settings share one characterized library — and, with a backing
+        :class:`LibraryStore`, one warm on-disk cache across processes.
+        """
+        options = options or CharacterizationOptions()
+        library = GateLibrary(technology, temperature_k, options)
+        fingerprint = characterization_fingerprint(
+            technology, options, library.temperature_k
+        )
+        with self._lock:
+            cached = self._libraries.get(fingerprint)
+            if cached is not None:
+                self._library_hits += 1
+                return cached
+            self._library_misses += 1
+            if self.store is not None:
+                self.store.load(library)
+            self._libraries[fingerprint] = library
+            return library
+
+    def register_library(self, library: GateLibrary) -> GateLibrary:
+        """Adopt a pre-built library; return the session's canonical instance.
+
+        If a library with the same settings fingerprint is already
+        registered, that instance is returned (its characterization cache
+        is the warmer one); otherwise ``library`` is registered as-is —
+        warmed from the backing store when one is configured.
+        """
+        fingerprint = characterization_fingerprint(
+            library.technology,
+            library.characterizer.options,
+            library.temperature_k,
+        )
+        with self._lock:
+            cached = self._libraries.get(fingerprint)
+            if cached is not None:
+                self._library_hits += 1
+                return cached
+            self._library_misses += 1
+            if self.store is not None:
+                self.store.load(library)
+            self._libraries[fingerprint] = library
+            return library
+
+    def publish_libraries(self) -> int:
+        """Publish every registered library to the backing store.
+
+        Returns the total record count written (0 without a store or when
+        nothing grew).  Call at natural checkpoints — end of a warm-up,
+        session shutdown — so other workers inherit the characterization.
+        """
+        if self.store is None:
+            return 0
+        with self._lock:
+            libraries = list(self._libraries.values())
+        return sum(self.store.publish(library) for library in libraries)
+
+    # ------------------------------------------------------------------ #
+    # compiled-circuit cache
+    # ------------------------------------------------------------------ #
+    def compiled(self, circuit: Circuit, library: GateLibrary) -> CompiledCircuit:
+        """Return the (cached) compile of ``circuit`` against ``library``."""
+        return self.compile_cache.get_or_compile(circuit, library, lint=self.lint)
+
+    def warm_up(
+        self, circuits: Iterable[Circuit], library: GateLibrary
+    ) -> list[CompiledCircuit]:
+        """Compile every circuit now (characterizing as needed); return them.
+
+        The explicit warm-up path of a serving deployment: pay
+        characterization and compilation before traffic arrives, then
+        publish the grown library to the store for the rest of the fleet.
+        """
+        compiled = [self.compiled(circuit, library) for circuit in circuits]
+        self.publish_libraries()
+        return compiled
+
+    # ------------------------------------------------------------------ #
+    # request front-end
+    # ------------------------------------------------------------------ #
+    def totals(
+        self,
+        circuit: Circuit,
+        library: GateLibrary,
+        vectors: Iterable[Mapping[str, int]] | np.ndarray,
+        include_loading: bool = True,
+        coalesce: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> np.ndarray:
+        """Return the total circuit leakage (A) per vector.
+
+        ``vectors`` is either an iterable of primary-input assignments or
+        an already-packed ``(n_primary_inputs, n_vectors)`` 0/1 bit matrix
+        in ``circuit.primary_inputs`` row order.  With ``coalesce=True``
+        (default) the request may merge with concurrent ``totals`` requests
+        against the same compiled circuit into one engine pass — results
+        are bitwise identical either way.
+        """
+        compiled = self.compiled(circuit, library)
+        if isinstance(vectors, np.ndarray):
+            pi_bits = np.ascontiguousarray(vectors, dtype=np.uint8)
+        else:
+            pi_bits = compiled.validate_assignments([dict(v) for v in vectors])
+        self._count_request()
+        if not coalesce or pi_bits.shape[1] == 0:
+            return run_totals(
+                compiled, pi_bits, include_loading=include_loading,
+                chunk_size=chunk_size,
+            )
+
+        def run_batch(payloads: list[np.ndarray]) -> list[np.ndarray]:
+            stacked = np.concatenate(payloads, axis=1)
+            batch_totals = run_totals(
+                compiled, stacked, include_loading=include_loading,
+                chunk_size=chunk_size,
+            )
+            results: list[np.ndarray] = []
+            lo = 0
+            for payload in payloads:
+                hi = lo + payload.shape[1]
+                results.append(batch_totals[lo:hi].copy())
+                lo = hi
+            return results
+
+        key = (id(compiled), bool(include_loading), "totals")
+        result = self._coalescer.submit(key, pi_bits, pi_bits.shape[1], run_batch)
+        assert isinstance(result, np.ndarray)
+        return result
+
+    def campaign(
+        self,
+        circuit: Circuit,
+        library: GateLibrary,
+        vectors: Iterable[Mapping[str, int]],
+        include_loading: bool = True,
+        coalesce: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> BatchedCampaignRun:
+        """Run a full campaign (per-gate arrays, lazy reports) over ``vectors``.
+
+        Like :meth:`totals` but answering with the complete
+        :class:`~repro.engine.campaign.BatchedCampaignRun`.  Coalesced
+        campaign requests merge into one :func:`run_compiled` pass and are
+        split back by vector columns — bitwise identical to running alone.
+        """
+        assignments = [dict(v) for v in vectors]
+        compiled = self.compiled(circuit, library)
+        self._count_request()
+        if not coalesce or not assignments:
+            return run_compiled(
+                compiled, assignments, include_loading=include_loading,
+                chunk_size=chunk_size,
+            )
+
+        def run_batch(
+            payloads: list[list[dict[str, int]]],
+        ) -> list[BatchedCampaignRun]:
+            merged = [vector for payload in payloads for vector in payload]
+            run = run_compiled(
+                compiled, merged, include_loading=include_loading,
+                chunk_size=chunk_size,
+            )
+            results: list[BatchedCampaignRun] = []
+            lo = 0
+            for payload in payloads:
+                hi = lo + len(payload)
+                results.append(_slice_run(run, lo, hi))
+                lo = hi
+            return results
+
+        key = (id(compiled), bool(include_loading), "campaign")
+        result = self._coalescer.submit(key, assignments, len(assignments), run_batch)
+        assert isinstance(result, BatchedCampaignRun)
+        return result
+
+    def iter_campaign(
+        self,
+        circuit: Circuit,
+        library: GateLibrary,
+        vectors: Iterable[Mapping[str, int]],
+        include_loading: bool = True,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[BatchedCampaignRun]:
+        """Stream a campaign as per-chunk runs instead of one result.
+
+        Consumes ``vectors`` lazily in ``chunk_size`` slices and yields one
+        :class:`BatchedCampaignRun` per slice as soon as its engine pass
+        completes — the streaming shape campaign and Monte-Carlo consumers
+        need for result sets too large (or too slow) to hold whole.
+        Chunking never changes numbers (batch-composition invariance), so
+        concatenating the streamed totals is bitwise identical to one
+        :meth:`campaign` call.
+        """
+        compiled = self.compiled(circuit, library)
+        chunk: list[dict[str, int]] = []
+        for vector in vectors:
+            chunk.append(dict(vector))
+            if len(chunk) >= chunk_size:
+                self._count_request()
+                yield run_compiled(
+                    compiled, chunk, include_loading=include_loading,
+                    chunk_size=chunk_size,
+                )
+                chunk = []
+        if chunk:
+            self._count_request()
+            yield run_compiled(
+                compiled, chunk, include_loading=include_loading,
+                chunk_size=chunk_size,
+            )
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Return a nested snapshot of every session counter.
+
+        Sections: ``compile_cache`` (hits/misses/evictions/entries/maxsize),
+        ``coalescer`` (requests, batches, flush kinds, vector accounting),
+        ``libraries`` (registry hits/misses/entries) and — when a store is
+        configured — ``store`` (loads/publishes/record counts).
+        ``requests`` under ``session`` counts every front-end call
+        (totals/campaign/streamed chunk), coalesced or not.
+        """
+        with self._lock:
+            libraries = {
+                "entries": len(self._libraries),
+                "hits": self._library_hits,
+                "misses": self._library_misses,
+            }
+            requests = self._requests
+        stats: dict[str, dict[str, int]] = {
+            "session": {"requests": requests},
+            "compile_cache": self.compile_cache.cache_info().as_dict(),
+            "coalescer": self._coalescer.stats(),
+            "libraries": libraries,
+        }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
+
+    def _count_request(self) -> None:
+        with self._lock:
+            self._requests += 1
+
+
+def stats_delta(
+    before: Mapping[str, Mapping[str, int]],
+    after: Mapping[str, Mapping[str, int]],
+) -> dict[str, dict[str, int]]:
+    """Return ``after - before`` per counter (monotonic counters only).
+
+    Occupancy gauges (``entries``, ``maxsize``) are reported as their
+    ``after`` value, not a difference — a delta of a gauge is meaningless.
+    Sections or counters absent from ``before`` are treated as zero.
+    """
+    gauges = {"entries", "maxsize"}
+    delta: dict[str, dict[str, int]] = {}
+    for section, counters in after.items():
+        base = before.get(section, {})
+        delta[section] = {
+            name: value if name in gauges else value - base.get(name, 0)
+            for name, value in counters.items()
+        }
+    return delta
+
+
+#: Lazily created process-default session (guarded by a lock, shared by the
+#: thin adapters in core/optimize/experiments when no session is passed).
+_DEFAULT_SESSION: EstimationSession | None = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> EstimationSession:
+    """Return the process-default :class:`EstimationSession`.
+
+    Its compile cache is the process-default
+    :class:`~repro.engine.compile.CompileCache`, so estimation routed
+    through the session and legacy direct
+    :func:`~repro.engine.compile.compile_circuit` calls share warm entries
+    (and :func:`~repro.engine.compile.clear_compile_cache` clears both).
+    No on-disk store is attached — construct an explicit session for that.
+    """
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = EstimationSession(
+                compile_cache=default_compile_cache()
+            )
+        return _DEFAULT_SESSION

@@ -7,12 +7,14 @@ technology and one :class:`LoadingAnalyzer`, which keeps the full suite fast
 while still exercising the real numerical paths (nothing is mocked).
 
 On top of the in-memory session scope, the library fixtures are backed by a
-**fingerprinted on-disk cache** (:mod:`repro.gates.cache`): at session start
-records characterized by a previous run are loaded from a cache file keyed
-by the full characterization fingerprint, and at session end the (possibly
-grown) record set is written back atomically.  A fingerprint mismatch
-(different technology/options/temperature) simply ignores the file, so a
-stale cache can never poison a run.
+**fingerprinted on-disk cache** — :class:`repro.gates.cache.LibraryStore`,
+which grew out of this conftest and now lives in the library proper: at
+session start records characterized by a previous run are loaded from a
+cache file keyed by the full characterization fingerprint, and at session
+end the (possibly grown) record set is published back with the store's
+convergent-union atomic write+rename.  A fingerprint mismatch (different
+technology/options/temperature) simply ignores the file, so a stale cache
+can never poison a run.
 
 The win is **across runs** (and, under ``pytest-xdist``, multiplied by the
 worker count, since session fixtures are per-process and every worker pays
@@ -34,7 +36,7 @@ import pytest
 
 from repro.core.loading import LoadingAnalyzer
 from repro.device.presets import make_technology
-from repro.gates.cache import characterization_fingerprint, load_library, save_library
+from repro.gates.cache import LibraryStore
 from repro.gates.characterize import CharacterizationOptions, GateLibrary
 
 #: Reduced injection grid used by test libraries: spans the same +/- 3.2 uA
@@ -76,45 +78,19 @@ def library_cache_dir(tmp_path_factory) -> Path:
 def _disk_cached_library(
     technology, options: CharacterizationOptions, cache_dir: Path
 ):
-    """Yield a :class:`GateLibrary` warmed from / saved to the disk cache."""
+    """Yield a :class:`GateLibrary` warmed from / published to the disk store.
+
+    The load/publish mechanics (strict-fingerprint load with graceful
+    fallback, convergent-union atomic write+rename publish) live in
+    :class:`LibraryStore`; the fixture only decides the lifecycle — warm at
+    session start, publish whatever characterization the session added at
+    teardown.
+    """
     library = GateLibrary(technology, options=options)
-    fingerprint = characterization_fingerprint(
-        technology, options, library.temperature_k
-    )
-    path = cache_dir / (
-        f"{technology.name}-g{CACHE_GENERATION}-{fingerprint[:16]}.json"
-    )
-    if path.exists():
-        try:
-            load_library(library, path, strict=True)
-        except (ValueError, KeyError, OSError):
-            # Mismatched fingerprint or a torn file: characterize lazily as
-            # if no cache existed; the session-end save repairs the file.
-            pass
+    store = LibraryStore(cache_dir, generation=CACHE_GENERATION)
+    store.load(library)
     yield library
-    # Convergent-union publish: merge whatever is on disk *now* (another
-    # xdist worker may have published records this worker never touched —
-    # records are deterministic for a fingerprint, so overwrite direction
-    # is irrelevant) and only republish when the union grew.  Last writer
-    # still wins the rename race, but every publish is a superset of the
-    # file it read, so repeated runs monotonically converge to the full
-    # record set instead of ping-ponging partial per-worker views.
-    on_disk = 0
-    if path.exists():
-        try:
-            on_disk = load_library(library, path, strict=True)
-        except (ValueError, KeyError, OSError):
-            on_disk = 0
-    if len(library.cached_records()) > on_disk:
-        # Atomic publish (write + rename) so concurrent workers can never
-        # tear each other's cache files; every variant is a valid,
-        # fingerprinted cache.
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        try:
-            save_library(library, tmp)
-            tmp.replace(path)
-        except OSError:  # pragma: no cover - disk-full etc.; cache is optional
-            tmp.unlink(missing_ok=True)
+    store.publish(library)
 
 
 @pytest.fixture(scope="session")

@@ -89,6 +89,25 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
         "large.dense_infeasible_batch": int,
         "large.sparse_solver_stats.fallbacks": int,
     },
+    "session.json": {
+        "circuit": str,
+        "gates": int,
+        "seed": int,
+        "vectors_per_query": int,
+        "speedup": NUMBER,
+        "warm.threads": int,
+        "warm.queries": int,
+        "warm.queries_per_second": NUMBER,
+        "warm.bitwise_identical": bool,
+        "cold.queries": int,
+        "cold.queries_per_second": NUMBER,
+        "cold.bitwise_identical": bool,
+        "coalescing.requests": int,
+        "coalescing.batches": int,
+        "coalescing.coalesced_requests": int,
+        "compile_cache.hits": int,
+        "compile_cache.misses": int,
+    },
     "vector_search.json": {
         "seed": int,
         "engine": str,
