@@ -63,6 +63,9 @@ class VectorCampaignResult:
     reports: Sequence[CircuitLeakageReport] = field(default_factory=list)
     precomputed_totals: dict[str, np.ndarray] | None = None
     batch_runtime_s: float | None = None
+    #: Execution provenance (e.g. the supervised pool's retry ledger under
+    #: ``"resilience"``); never feeds back into the report values.
+    metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def vector_count(self) -> int:

@@ -30,9 +30,8 @@ parallel samples against the serial driver's.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.circuit.netlist import Circuit
 from repro.core.reference import (
@@ -42,12 +41,12 @@ from repro.core.reference import (
 )
 from repro.core.vectors import VectorCampaignResult
 from repro.device.params import TechnologyParams
+from repro.resilience import ResilienceOptions, checkpoint_fingerprint
 from repro.spice.solver import SolverOptions
-from repro.utils.rng import RngLike, spawn_streams
+from repro.utils.rng import RngLike, rng_state_token, spawn_streams
 from repro.variation.montecarlo import (
     MonteCarloResult,
     _simulate_batch_star,
-    _simulate_sample_star,
     build_sample_task,
     simulate_batch,
     simulate_sample,
@@ -62,6 +61,56 @@ def default_workers(max_workers: int | None) -> int:
     if max_workers < 1:
         raise ValueError("max_workers must be at least 1")
     return max_workers
+
+
+def supervised_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int,
+    resilience: ResilienceOptions | None,
+    fingerprint_payload: Callable[[], dict[str, Any]],
+) -> tuple[list[Any], dict[str, object]]:
+    """Run a chunked pool map under resilience supervision.
+
+    The shared pooled path of every chunked driver (both campaign classes
+    here and the island fan-out of :mod:`repro.optimize.search`): builds
+    the supervised executor from ``resilience`` (defaults apply when the
+    caller passed ``None``), wires up the fingerprinted checkpoint and the
+    resume set when configured, and returns ``(results, metadata)`` with
+    the retry ledger under ``metadata["resilience"]``.
+
+    ``fingerprint_payload`` is only called when a checkpoint is configured;
+    it must return everything that can change a chunk result or the chunk
+    layout (task definition, options, RNG state token, chunk count).
+    """
+    opts = resilience or ResilienceOptions()
+    checkpoint = None
+    completed = None
+    if opts.checkpoint_path is not None:
+        payload = fingerprint_payload()
+        if payload.get("rng", "absent") is None:
+            raise ValueError(
+                "checkpointing requires a reproducible rng (an explicit seed "
+                "or Generator); rng=None runs cannot be resumed bitwise"
+            )
+        checkpoint = opts.checkpoint(checkpoint_fingerprint(payload))
+        if opts.resume:
+            completed = checkpoint.load()
+    results, ledger = opts.executor(workers).map(
+        fn, items, checkpoint=checkpoint, completed=completed
+    )
+    resilience_meta = ledger.as_dict()
+    if checkpoint is not None:
+        resilience_meta["checkpoint_publishes"] = checkpoint.publishes
+        if not opts.keep_checkpoint:
+            checkpoint.complete()
+    return results, {"resilience": resilience_meta}
+
+
+def _simulate_scalar_chunk_star(args):
+    """Process-pool adapter: run one contiguous chunk of scalar samples."""
+    task, streams = args
+    return [simulate_sample(task, stream) for stream in streams]
 
 
 class ParallelMonteCarlo:
@@ -81,8 +130,14 @@ class ParallelMonteCarlo:
         ``1`` runs in-process with no pool at all.
     engine:
         ``"batched"`` (default) ships contiguous stream chunks to workers,
-        each solved as one batch; ``"scalar"`` ships single samples through
-        the reference path.
+        each solved as one batch; ``"scalar"`` ships contiguous sample
+        chunks through the reference path one sample at a time.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceOptions` — retry
+        policy, per-chunk deadline, checkpoint/resume, fault injection.
+        Providing it forces the supervised pool path even at one worker;
+        pooled runs without it still get the default supervision
+        (worker-death recovery with the stock retry policy).
     """
 
     def __init__(
@@ -96,6 +151,7 @@ class ParallelMonteCarlo:
         solver_options: SolverOptions | None = None,
         max_workers: int | None = None,
         engine: str = "batched",
+        resilience: ResilienceOptions | None = None,
     ) -> None:
         self.task = build_sample_task(
             technology,
@@ -110,6 +166,7 @@ class ParallelMonteCarlo:
             raise ValueError(f"unknown Monte-Carlo engine {engine!r}")
         self.max_workers = default_workers(max_workers)
         self.engine = engine
+        self.resilience = resilience
 
     def run(self, samples: int, rng: RngLike = None) -> MonteCarloResult:
         """Run ``samples`` Monte-Carlo samples and return the paired results.
@@ -117,52 +174,63 @@ class ParallelMonteCarlo:
         Samples keep their stream order in the result (worker completion
         order never matters), so ``run(n, seed)`` equals the serial
         ``run_loaded_inverter_monte_carlo(..., samples=n, rng=seed,
-        engine=...)`` sample for sample — bitwise, for either engine.
+        engine=...)`` sample for sample — bitwise, for either engine, and
+        still under injected faults: a retried chunk re-runs from its
+        original spawned streams, which live untouched in this process.
         """
         if samples < 1:
             raise ValueError("samples must be at least 1")
         task = self.task
+        rng_token = (
+            rng_state_token(rng)
+            if self.resilience is not None
+            and self.resilience.checkpoint_path is not None
+            else "absent"
+        )
         streams = spawn_streams(rng, samples)
         workers = min(self.max_workers, samples)
-        if self.engine == "batched":
-            if workers == 1:
+        metadata: dict[str, object] = {}
+        if workers == 1 and self.resilience is None:
+            if self.engine == "batched":
                 results = simulate_batch(task, streams)
             else:
-                # Contiguous chunks, one batch per pool task; order-preserving
-                # map + per-column solver independence keep results identical
-                # to the serial batch whatever the chunk boundaries are.
-                chunk = -(-samples // workers)
-                chunks = [
-                    streams[start : start + chunk]
-                    for start in range(0, samples, chunk)
-                ]
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    results = [
-                        sample
-                        for batch in pool.map(
-                            _simulate_batch_star,
-                            [(task, chunk_streams) for chunk_streams in chunks],
-                        )
-                        for sample in batch
-                    ]
-        elif workers == 1:
-            results = [simulate_sample(task, stream) for stream in streams]
+                results = [simulate_sample(task, stream) for stream in streams]
         else:
-            chunksize = max(1, samples // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(
-                    pool.map(
-                        _simulate_sample_star,
-                        [(task, stream) for stream in streams],
-                        chunksize=chunksize,
-                    )
-                )
+            # Contiguous chunks, one pool task per chunk; order-preserving
+            # supervised map + per-column solver independence keep results
+            # identical to the serial run whatever the chunk boundaries,
+            # worker count, or injected faults.
+            if self.engine == "batched":
+                chunk = -(-samples // workers)
+                fn: Callable[[Any], Any] = _simulate_batch_star
+            else:
+                chunk = max(1, samples // (workers * 4))
+                fn = _simulate_scalar_chunk_star
+            chunks = [
+                streams[start : start + chunk] for start in range(0, samples, chunk)
+            ]
+            batches, metadata = supervised_map(
+                fn,
+                [(task, chunk_streams) for chunk_streams in chunks],
+                workers,
+                self.resilience,
+                lambda: {
+                    "kind": "monte-carlo",
+                    "engine": self.engine,
+                    "task": task,
+                    "samples": samples,
+                    "chunks": len(chunks),
+                    "rng": rng_token,
+                },
+            )
+            results = [sample for batch in batches for sample in batch]
         return MonteCarloResult(
             spec=task.spec,
             input_value=task.input_value,
             input_loads=task.input_loads,
             output_loads=task.output_loads,
             samples=results,
+            metadata=metadata,
         )
 
 
@@ -220,6 +288,11 @@ class ParallelReferenceCampaign:
         ``"batched"`` (default) solves each chunk as one batch;
         ``"scalar"`` runs the oracle path vector by vector inside each
         chunk.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceOptions` — retry
+        policy, per-chunk deadline, checkpoint/resume, fault injection.
+        Providing it forces the supervised pool path even at one worker;
+        pooled runs without it still get the default supervision.
     """
 
     def __init__(
@@ -230,6 +303,7 @@ class ParallelReferenceCampaign:
         max_workers: int | None = None,
         chunk_size: int = DEFAULT_REFERENCE_CHUNK_SIZE,
         engine: str = "batched",
+        resilience: ResilienceOptions | None = None,
     ) -> None:
         if engine not in REFERENCE_ENGINES:
             raise ValueError(
@@ -243,6 +317,7 @@ class ParallelReferenceCampaign:
         self.max_workers = default_workers(max_workers)
         self.chunk_size = chunk_size
         self.engine = engine
+        self.resilience = resilience
 
     def run(
         self, circuit: Circuit, vectors: Iterable[dict[str, int]]
@@ -263,18 +338,25 @@ class ParallelReferenceCampaign:
             for start in range(0, len(vectors), self.chunk_size)
         ]
         workers = min(self.max_workers, len(chunks))
-        if workers == 1:
+        metadata: dict[str, object] = {}
+        if workers == 1 and self.resilience is None:
             chunk_reports = [_reference_chunk_star((task, chunk)) for chunk in chunks]
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunk_reports = list(
-                    pool.map(
-                        _reference_chunk_star,
-                        [(task, chunk) for chunk in chunks],
-                    )
-                )
+            chunk_reports, metadata = supervised_map(
+                _reference_chunk_star,
+                [(task, chunk) for chunk in chunks],
+                workers,
+                self.resilience,
+                lambda: {
+                    "kind": "reference-campaign",
+                    "task": task,
+                    "vectors": vectors,
+                    "chunk_size": self.chunk_size,
+                },
+            )
         return VectorCampaignResult(
             circuit_name=circuit.name,
             method=ReferenceSimulator.method_name,
             reports=[report for chunk in chunk_reports for report in chunk],
+            metadata=metadata,
         )

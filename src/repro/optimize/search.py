@@ -42,7 +42,6 @@ apples-to-apples claim.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -50,9 +49,10 @@ import numpy as np
 
 from repro.engine.campaign import DEFAULT_CHUNK_SIZE
 from repro.engine.compile import CompiledCircuit
-from repro.engine.parallel import default_workers
+from repro.engine.parallel import default_workers, supervised_map
 from repro.optimize.objective import LeakageObjective
-from repro.utils.rng import RngLike, spawn_streams
+from repro.resilience import ResilienceOptions
+from repro.utils.rng import RngLike, rng_state_token, spawn_streams
 from repro.utils.tables import format_table
 
 #: Strategies accepted by :func:`minimize_leakage` (and the
@@ -195,6 +195,9 @@ class OptimizationResult:
     evaluations: int
     islands: list[IslandDiagnostics] = field(default_factory=list)
     converged: bool = True
+    #: Execution provenance (e.g. the supervised pool's retry ledger under
+    #: ``"resilience"``); never feeds back into the search outcome.
+    metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def trajectory(self) -> np.ndarray:
@@ -392,20 +395,40 @@ def _genetic_island(
 
 
 def _run_islands(
-    tasks: Sequence[_IslandTask], max_workers: int | None
-) -> list[IslandDiagnostics]:
-    """Run islands serially or over a process pool — identical results.
+    tasks: Sequence[_IslandTask],
+    max_workers: int | None,
+    resilience: ResilienceOptions | None,
+    rng_token: object,
+) -> tuple[list[IslandDiagnostics], dict[str, object]]:
+    """Run islands serially or over a supervised pool — identical results.
 
     The pool path mirrors :class:`~repro.engine.parallel.ParallelMonteCarlo`:
-    an order-preserving ``map`` over self-contained tasks whose randomness
-    was spawned up front, so completion order and worker count can never
-    leak into the outcome.
+    an order-preserving supervised map over self-contained tasks whose
+    randomness was spawned up front, so completion order, worker count and
+    crash-and-retry recovery can never leak into the outcome.  An island is
+    the chunk unit of checkpoint/resume: a resumed search skips completed
+    islands and re-runs only the rest from their original streams.
     """
     workers = min(default_workers(max_workers), len(tasks))
-    if workers == 1:
-        return [_run_island(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_island, tasks))
+    if workers == 1 and resilience is None:
+        return [_run_island(task) for task in tasks], {}
+    first = tasks[0]
+    return supervised_map(
+        _run_island,
+        tasks,
+        workers,
+        resilience,
+        lambda: {
+            "kind": "island-search",
+            "strategy": first.strategy,
+            "circuit": first.compiled.circuit,
+            "include_loading": first.include_loading,
+            "chunk_size": first.chunk_size,
+            "options": first.options,
+            "islands": len(tasks),
+            "rng": rng_token,
+        },
+    )
 
 
 def _merge_result(
@@ -414,6 +437,7 @@ def _merge_result(
     include_loading: bool,
     islands: list[IslandDiagnostics],
     converged: bool,
+    metadata: dict[str, object] | None = None,
 ) -> OptimizationResult:
     """Fold island diagnostics into the final result (deterministic ties)."""
     best = min(islands, key=lambda island: (island.best_total, island.index))
@@ -431,6 +455,7 @@ def _merge_result(
         evaluations=sum(island.evaluations for island in islands),
         islands=islands,
         converged=converged,
+        metadata=metadata or {},
     )
 
 
@@ -459,17 +484,24 @@ def greedy_minimize(
     islands: int = 1,
     max_workers: int | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    resilience: ResilienceOptions | None = None,
 ) -> OptimizationResult:
     """Random-restart greedy bit-flip search for the minimum-leakage vector.
 
     Restart ``i`` draws its start vector from spawned stream ``i`` and then
     descends deterministically, so the outcome is bitwise independent of
     the island split *and* of the worker count: ``islands``/``max_workers``
-    only spread the restart groups over processes.
+    only spread the restart groups over processes (supervised via
+    ``resilience`` — worker death, deadlines, checkpoint/resume).
     """
     options = options or GreedyOptions()
     if islands < 1:
         raise ValueError("islands must be at least 1")
+    rng_token = (
+        rng_state_token(rng)
+        if resilience is not None and resilience.checkpoint_path is not None
+        else "absent"
+    )
     streams = spawn_streams(rng, options.restarts)
     parts = min(islands, options.restarts)
     tasks = [
@@ -484,9 +516,11 @@ def greedy_minimize(
         )
         for i, piece in enumerate(_split_contiguous(options.restarts, parts))
     ]
-    results = _run_islands(tasks, max_workers)
+    results, metadata = _run_islands(tasks, max_workers, resilience, rng_token)
     converged = all(island.stop_reason == "local-minima" for island in results)
-    return _merge_result("greedy", compiled, include_loading, results, converged)
+    return _merge_result(
+        "greedy", compiled, include_loading, results, converged, metadata
+    )
 
 
 def genetic_minimize(
@@ -497,18 +531,25 @@ def genetic_minimize(
     islands: int = 1,
     max_workers: int | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    resilience: ResilienceOptions | None = None,
 ) -> OptimizationResult:
     """Island-model genetic search for the minimum-leakage vector.
 
     Each island runs an independent GA of ``options.population``
     individuals driven entirely by its own spawned stream; the final
-    answer is the best across islands.  Serial execution and the process
-    pool see identical streams in identical order, so the result is
-    bitwise identical either way (asserted by the regression tests).
+    answer is the best across islands.  Serial execution, the supervised
+    pool, and a crash-retried or checkpoint-resumed run all see identical
+    streams in identical order, so the result is bitwise identical either
+    way (asserted by the regression and resilience tests).
     """
     options = options or GeneticOptions()
     if islands < 1:
         raise ValueError("islands must be at least 1")
+    rng_token = (
+        rng_state_token(rng)
+        if resilience is not None and resilience.checkpoint_path is not None
+        else "absent"
+    )
     streams = spawn_streams(rng, islands)
     tasks = [
         _IslandTask(
@@ -522,10 +563,10 @@ def genetic_minimize(
         )
         for i in range(islands)
     ]
-    results = _run_islands(tasks, max_workers)
+    results, metadata = _run_islands(tasks, max_workers, resilience, rng_token)
     converged = all(island.stop_reason == "stalled" for island in results)
     return _merge_result(
-        "genetic", compiled, include_loading, results, converged
+        "genetic", compiled, include_loading, results, converged, metadata
     )
 
 
@@ -593,6 +634,7 @@ def minimize_leakage(
     options: GreedyOptions | GeneticOptions | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     session=None,
+    resilience: ResilienceOptions | None = None,
 ) -> OptimizationResult:
     """Search the minimum-leakage vector for a library-backed estimator.
 
@@ -646,6 +688,11 @@ def minimize_leakage(
                 "strategy='exhaustive' does not parallelize over islands "
                 "or workers"
             )
+        if resilience is not None:
+            raise ValueError(
+                "strategy='exhaustive' runs a serial stream; resilience "
+                "supervision applies to the island strategies"
+            )
         return exhaustive_minimize(
             compiled, include_loading=include_loading, chunk_size=chunk_size
         )
@@ -660,6 +707,7 @@ def minimize_leakage(
             islands=islands,
             max_workers=max_workers,
             chunk_size=chunk_size,
+            resilience=resilience,
         )
     if options is not None and not isinstance(options, GeneticOptions):
         raise TypeError("strategy='genetic' takes GeneticOptions")
@@ -671,4 +719,5 @@ def minimize_leakage(
         islands=islands,
         max_workers=max_workers,
         chunk_size=chunk_size,
+        resilience=resilience,
     )

@@ -1,0 +1,182 @@
+"""Fingerprinted, atomic checkpoint/resume for chunked long-running work.
+
+A crashed 10,000-sample Monte-Carlo run used to lose everything; with a
+checkpoint it resumes from the last completed chunk and — because every
+chunk re-runs from its original ``SeedSequence.spawn`` stream and the
+engines are batch-composition invariant — finishes **bitwise identical**
+to a run that never crashed.
+
+Design follows the :mod:`repro.gates.cache` store idiom:
+
+* **atomic publish**: every write goes to a process-unique temporary file
+  and is ``rename``d into place (atomic on POSIX), so a reader — including
+  a resuming run racing a dying one — only ever sees a complete file;
+* **fingerprint guard**: the file carries a SHA-256 fingerprint of the
+  *work definition* (circuit/task structure, options, RNG state token,
+  chunk layout).  A resume under any other definition is **refused** with
+  :class:`~repro.resilience.errors.StaleCheckpointError` — a stale
+  checkpoint must never be silently folded into a run it cannot
+  bitwise-complete;
+* **graceful corruption fallback**: a torn or garbled file (see
+  :func:`repro.resilience.faults.corrupt_file`) loads as *empty* with a
+  :class:`~repro.resilience.errors.CheckpointCorruptWarning` — progress is
+  lost, correctness is not.
+
+The payload is a ``{chunk_index: result}`` dict serialized with
+:mod:`pickle` — chunk results are numpy-backed dataclasses whose float
+values must round-trip bitwise, which pickle guarantees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import warnings
+from pathlib import Path
+from typing import Any, Mapping
+
+# The canonicalizer of the characterization cache already knows how to
+# walk the repo's dataclass/enum/array settings trees; checkpoint
+# fingerprints cover the same kinds of objects.
+from repro.gates.cache import _canonical
+from repro.resilience.errors import CheckpointCorruptWarning, StaleCheckpointError
+
+#: Format version written into every checkpoint file; older files are
+#: treated as unreadable (graceful fallback), not silently reinterpreted.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def checkpoint_fingerprint(payload: Mapping[str, Any]) -> str:
+    """Return a stable hex digest of a checkpoint's work definition.
+
+    ``payload`` should contain everything that can change a chunk result
+    or the chunk layout: the task/circuit definition, solver and campaign
+    options, the RNG state token (:func:`repro.utils.rng.rng_state_token`)
+    and the chunk count/size.  Nested dataclasses/enums/tuples are
+    canonicalized exactly like the characterization-cache fingerprint.
+    """
+    canonical = json.dumps(_canonical(dict(payload)), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class Checkpoint:
+    """One on-disk checkpoint of a chunked campaign.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file location (parent directories are created).
+    fingerprint:
+        The work-definition digest (:func:`checkpoint_fingerprint`) this
+        checkpoint belongs to.  ``load`` refuses any other fingerprint.
+    interval:
+        Publish to disk every ``interval`` newly recorded chunks (1 =
+        after every chunk).  Recording is cheap; publishing costs one
+        pickle + rename.
+    """
+
+    def __init__(
+        self, path: str | Path, fingerprint: str, interval: int = 1
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be at least 1")
+        self.path = Path(path)
+        self.fingerprint = str(fingerprint)
+        self.interval = int(interval)
+        self._completed: dict[int, Any] = {}
+        self._unpublished = 0
+        #: Counters surfaced in driver result metadata.
+        self.publishes = 0
+        self.corrupt_loads = 0
+
+    # ------------------------------------------------------------------ #
+    # resume side
+    # ------------------------------------------------------------------ #
+    def load(self) -> dict[int, Any]:
+        """Return the completed chunks recorded on disk.
+
+        Missing file → empty dict (fresh run).  Corrupt file → empty dict
+        plus :class:`CheckpointCorruptWarning` (progress lost, correctness
+        kept).  Fingerprint mismatch → :class:`StaleCheckpointError` (a
+        different work definition must never be resumed).
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            payload = pickle.loads(self.path.read_bytes())
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format_version") != CHECKPOINT_FORMAT_VERSION
+            ):
+                raise ValueError("unrecognized checkpoint layout")
+            stored_fingerprint = payload["fingerprint"]
+            completed = payload["completed"]
+            if not isinstance(completed, dict):
+                raise ValueError("unrecognized checkpoint layout")
+        except StaleCheckpointError:  # pragma: no cover - defensive
+            raise
+        except Exception as exc:
+            self.corrupt_loads += 1
+            warnings.warn(
+                f"checkpoint {self.path} is unreadable ({type(exc).__name__}: "
+                f"{exc}); starting from scratch",
+                CheckpointCorruptWarning,
+                stacklevel=2,
+            )
+            return {}
+        if stored_fingerprint != self.fingerprint:
+            raise StaleCheckpointError(
+                f"checkpoint {self.path} was written for a different work "
+                f"definition (stored fingerprint {stored_fingerprint[:16]}..., "
+                f"current {self.fingerprint[:16]}...); refusing to resume — "
+                "delete the file or rerun with the original configuration"
+            )
+        self._completed = {int(k): v for k, v in completed.items()}
+        return dict(self._completed)
+
+    # ------------------------------------------------------------------ #
+    # record side
+    # ------------------------------------------------------------------ #
+    def record(self, chunk_index: int, result: Any) -> None:
+        """Record one completed chunk; publish every ``interval`` records."""
+        self._completed[int(chunk_index)] = result
+        self._unpublished += 1
+        if self._unpublished >= self.interval:
+            self.publish()
+
+    def publish(self) -> None:
+        """Write the completed-chunk set to disk (atomic write + rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "completed": dict(self._completed),
+        }
+        tmp = self.path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            tmp.write_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            tmp.replace(self.path)
+        except OSError:
+            # A checkpoint is an optimization, never a correctness
+            # dependency: on disk-full/permission errors the run continues
+            # uncheckpointed, leaving no partial file behind.
+            tmp.unlink(missing_ok=True)
+            return
+        self.publishes += 1
+        self._unpublished = 0
+
+    def flush(self) -> None:
+        """Publish only if chunks were recorded since the last publish."""
+        if self._unpublished:
+            self.publish()
+
+    def complete(self) -> None:
+        """Remove the checkpoint file — the run it guarded has finished."""
+        self.path.unlink(missing_ok=True)
+
+    @property
+    def completed_chunks(self) -> int:
+        """Return the number of chunks currently recorded."""
+        return len(self._completed)

@@ -21,11 +21,19 @@ Public entry points:
   experiment drivers to report per-figure cache-hit counts);
 * :class:`RequestCoalescer` — the generic dynamic-batching queue, reusable
   for other batchable evaluations.
+
+Hardening (PR 9): per-request deadlines
+(:class:`~repro.resilience.errors.DeadlineExceeded`), bounded admission
+with load shedding (:class:`~repro.resilience.errors.ServiceOverloaded`),
+leader-death release, and graceful degradation to direct serial
+evaluation — both exception types are re-exported here for callers.
 """
 
+from repro.resilience.errors import DeadlineExceeded, ServiceOverloaded
 from repro.service.coalesce import (
     DEFAULT_BATCH_WINDOW_S,
     DEFAULT_MAX_BATCH_VECTORS,
+    DEFAULT_MAX_IN_FLIGHT,
     RequestCoalescer,
 )
 from repro.service.session import (
@@ -37,8 +45,11 @@ from repro.service.session import (
 __all__ = [
     "DEFAULT_BATCH_WINDOW_S",
     "DEFAULT_MAX_BATCH_VECTORS",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DeadlineExceeded",
     "EstimationSession",
     "RequestCoalescer",
+    "ServiceOverloaded",
     "default_session",
     "stats_delta",
 ]

@@ -19,7 +19,25 @@ standard dynamic-batching pattern:
   (a **full flush**, which wakes the leader early);
 * the leader snapshots the batch, *closes* it (so requests arriving while
   the engine pass runs open a fresh batch instead of waiting behind it),
-  runs the single batched evaluation, and distributes per-request results.
+  hands the single batched evaluation to a dedicated flush thread, and
+  every member — leader included — waits on its own completion event.
+
+Hardening (the resilience layer's service front):
+
+* **per-request deadlines**: ``submit(..., deadline_s=...)`` waits at most
+  that long; expiry raises
+  :class:`~repro.resilience.errors.DeadlineExceeded` to that caller only —
+  the batch keeps running and every other member still gets its result.
+  Because evaluation runs on the flush thread, this holds for the leader
+  too: **no caller ever blocks past its deadline**, even mid-evaluation;
+* **admission control**: at most ``max_in_flight`` requests may be
+  admitted and incomplete; beyond that ``submit`` sheds load by raising
+  :class:`~repro.resilience.errors.ServiceOverloaded` immediately instead
+  of growing an unbounded queue;
+* **leader-death release**: any failure between closing a batch and
+  handing it to the flush thread (and any failure inside the evaluation
+  itself) is distributed to every member and their events are set —
+  followers can never hang on a dead leader.
 
 Correctness rests on the repo's standing batch-composition-invariance
 contract: every engine pass computes each vector column independently, so
@@ -43,6 +61,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Sequence
 
+from repro.resilience.errors import DeadlineExceeded, ServiceOverloaded
+
 #: Default batch window (seconds): how long a batch leader waits for
 #: followers before flushing.  Small enough to be invisible next to an
 #: engine pass, large enough for a burst of concurrent submitters to land
@@ -53,6 +73,11 @@ DEFAULT_BATCH_WINDOW_S = 0.002
 #: Matches the engine's chunking scale so one coalesced batch stays one
 #: memory-bounded pass.
 DEFAULT_MAX_BATCH_VECTORS = 4096
+
+#: Default admission bound: requests admitted but not yet complete.  Far
+#: above any sane concurrent-thread count, yet finite — a stalled engine
+#: pass sheds new load instead of queueing it without bound.
+DEFAULT_MAX_IN_FLIGHT = 1024
 
 
 @dataclass
@@ -90,19 +115,28 @@ class RequestCoalescer:
     max_batch_vectors:
         Flush a batch as soon as its summed vector count reaches this
         bound, without waiting out the window.
+    max_in_flight:
+        Admission bound: requests admitted but not yet complete.  Beyond
+        it ``submit`` raises
+        :class:`~repro.resilience.errors.ServiceOverloaded` immediately
+        (load shedding); ``None`` disables the bound.
     """
 
     def __init__(
         self,
         window_s: float = DEFAULT_BATCH_WINDOW_S,
         max_batch_vectors: int = DEFAULT_MAX_BATCH_VECTORS,
+        max_in_flight: int | None = DEFAULT_MAX_IN_FLIGHT,
     ) -> None:
         if window_s < 0.0:
             raise ValueError("window_s must be non-negative")
         if max_batch_vectors < 1:
             raise ValueError("max_batch_vectors must be positive")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive (or None)")
         self.window_s = float(window_s)
         self.max_batch_vectors = int(max_batch_vectors)
+        self.max_in_flight = None if max_in_flight is None else int(max_in_flight)
         self._lock = threading.Lock()
         self._open: dict[Hashable, _Batch] = {}
         # -- counters (all under the lock) --------------------------------- #
@@ -113,6 +147,9 @@ class RequestCoalescer:
         self._timeout_flushes = 0
         self._full_flushes = 0
         self._max_batch_requests = 0
+        self._in_flight = 0
+        self._rejected = 0
+        self._deadline_exceeded = 0
 
     def submit(
         self,
@@ -120,20 +157,40 @@ class RequestCoalescer:
         payload: Any,
         n_vectors: int,
         run_batch: Callable[[list[Any]], Sequence[Any]],
+        deadline_s: float | None = None,
     ) -> Any:
         """Submit one request; block until its batch is evaluated.
 
         ``run_batch`` receives the payloads of every submission in the
         batch, in arrival order, and must return one result per payload in
         the same order.  The calling thread of the batch's first submission
-        acts as leader and runs the evaluation; followers block on their
-        completion event.  An evaluation error propagates to every request
-        of the batch.
+        acts as leader: it waits out the window, closes the batch and hands
+        the evaluation to a dedicated flush thread; every member then waits
+        on its own completion event.  An evaluation error propagates to
+        every request of the batch.
+
+        ``deadline_s`` bounds *this caller's* wait.  Expiry raises
+        :class:`DeadlineExceeded` to this caller only; the batch keeps
+        running and other members are unaffected.  When the service is at
+        its admission bound the request is shed with
+        :class:`ServiceOverloaded` without joining any batch.
         """
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive (or None)")
         submission = _Submission(
             payload=payload, n_vectors=int(n_vectors), run_batch=run_batch
         )
         with self._lock:
+            if (
+                self.max_in_flight is not None
+                and self._in_flight >= self.max_in_flight
+            ):
+                self._rejected += 1
+                raise ServiceOverloaded(
+                    f"request rejected: {self._in_flight} requests already in "
+                    f"flight (bound {self.max_in_flight}); retry after backoff"
+                )
+            self._in_flight += 1
             self._requests += 1
             self._request_vectors += submission.n_vectors
             batch = self._open.get(key)
@@ -143,16 +200,26 @@ class RequestCoalescer:
                 self._open[key] = batch
             batch.submissions.append(submission)
             batch.n_vectors += submission.n_vectors
-            if batch.n_vectors >= self.max_batch_vectors:
+            if batch.n_vectors >= self.max_batch_vectors or self.window_s == 0.0:
                 batch.flush_now.set()
 
-        if leader:
-            self._lead(key, batch)
-        else:
-            submission.done.wait()
-        if submission.error is not None:
-            raise submission.error
-        return submission.result
+        try:
+            if leader:
+                self._lead(key, batch)
+            if not submission.done.wait(timeout=deadline_s):
+                with self._lock:
+                    self._deadline_exceeded += 1
+                raise DeadlineExceeded(
+                    f"request deadline of {deadline_s:.3g}s expired before its "
+                    "batch completed; the batch keeps running for its other "
+                    "members"
+                )
+            if submission.error is not None:
+                raise submission.error
+            return submission.result
+        finally:
+            with self._lock:
+                self._in_flight -= 1
 
     def stats(self) -> dict[str, int]:
         """Return a snapshot of the request/batch counters.
@@ -173,52 +240,87 @@ class RequestCoalescer:
                 "timeout_flushes": self._timeout_flushes,
                 "full_flushes": self._full_flushes,
                 "max_batch_requests": self._max_batch_requests,
+                "in_flight": self._in_flight,
+                "rejected": self._rejected,
+                "deadline_exceeded": self._deadline_exceeded,
             }
 
     # ------------------------------------------------------------------ #
     # leader side
     # ------------------------------------------------------------------ #
     def _lead(self, key: Hashable, batch: _Batch) -> None:
-        """Wait out the batch window, then flush ``batch`` and distribute."""
+        """Wait out the batch window, close ``batch``, dispatch its flush.
+
+        The evaluation itself runs on a dedicated flush thread, not on the
+        leader's calling thread: the leader then waits on its own done
+        event like any follower, which is what makes per-request deadlines
+        hold for every member of the batch.
+        """
         while not batch.flush_now.is_set():
             remaining = batch.deadline - time.monotonic()
             if remaining <= 0.0:
                 break
             batch.flush_now.wait(timeout=remaining)
 
-        with self._lock:
-            # Close the batch: late arrivals open a fresh one and are led
-            # by their own first submitter, so a long-running evaluation
-            # (a deliberately slow request) can never starve the window of
-            # the requests behind it.
-            if self._open.get(key) is batch:
-                del self._open[key]
-            submissions = list(batch.submissions)
-            full = batch.n_vectors >= self.max_batch_vectors
-            self._batches += 1
-            self._batched_vectors += batch.n_vectors
-            self._max_batch_requests = max(
-                self._max_batch_requests, len(submissions)
-            )
-            if full:
-                self._full_flushes += 1
-            else:
-                self._timeout_flushes += 1
-
+        submissions: list[_Submission] | None = None
         try:
-            results = submissions[0].run_batch([s.payload for s in submissions])
-            if len(results) != len(submissions):
-                raise RuntimeError(
-                    f"run_batch returned {len(results)} results for "
-                    f"{len(submissions)} submissions"
+            with self._lock:
+                # Close the batch: late arrivals open a fresh one and are
+                # led by their own first submitter, so a long-running
+                # evaluation (a deliberately slow request) can never starve
+                # the window of the requests behind it.
+                if self._open.get(key) is batch:
+                    del self._open[key]
+                submissions = list(batch.submissions)
+                full = batch.n_vectors >= self.max_batch_vectors
+                self._batches += 1
+                self._batched_vectors += batch.n_vectors
+                self._max_batch_requests = max(
+                    self._max_batch_requests, len(submissions)
                 )
-            for submission, result in zip(submissions, results):
-                submission.result = result
+                if full:
+                    self._full_flushes += 1
+                else:
+                    self._timeout_flushes += 1
+            runner = threading.Thread(
+                target=_run_flush,
+                args=(submissions,),
+                name="coalescer-flush",
+                daemon=True,
+            )
+            runner.start()
         except BaseException as exc:
+            # The leader died between closing the batch and dispatching its
+            # flush (thread-spawn failure, interpreter shutdown, injected
+            # crash).  Followers must never hang on a dead leader: release
+            # every member with the error before re-raising it here.
+            if submissions is None:
+                with self._lock:
+                    if self._open.get(key) is batch:
+                        del self._open[key]
+                    submissions = list(batch.submissions)
             for submission in submissions:
                 submission.error = exc
-        finally:
-            # The leader's own error surfaces through the common check in
-            # submit(), exactly like a follower's.
-            for submission in submissions:
                 submission.done.set()
+            raise
+
+
+def _run_flush(submissions: list[_Submission]) -> None:
+    """Evaluate one closed batch and distribute results (flush thread)."""
+    try:
+        results = submissions[0].run_batch([s.payload for s in submissions])
+        if len(results) != len(submissions):
+            raise RuntimeError(
+                f"run_batch returned {len(results)} results for "
+                f"{len(submissions)} submissions"
+            )
+        for submission, result in zip(submissions, results):
+            submission.result = result
+    except BaseException as exc:
+        for submission in submissions:
+            submission.error = exc
+    finally:
+        # Every member — including a leader whose deadline already fired
+        # and who is no longer listening — is released exactly once.
+        for submission in submissions:
+            submission.done.set()

@@ -56,9 +56,11 @@ from repro.engine.compile import (
 )
 from repro.gates.cache import LibraryStore, characterization_fingerprint
 from repro.gates.characterize import CharacterizationOptions, GateLibrary
+from repro.resilience.errors import DeadlineExceeded, ServiceOverloaded
 from repro.service.coalesce import (
     DEFAULT_BATCH_WINDOW_S,
     DEFAULT_MAX_BATCH_VECTORS,
+    DEFAULT_MAX_IN_FLIGHT,
     RequestCoalescer,
 )
 
@@ -105,6 +107,11 @@ class EstimationSession:
         Coalescing knobs (see :class:`~repro.service.coalesce.RequestCoalescer`):
         how long a request waits for concurrent company, and the vector
         count that flushes a batch early.
+    max_in_flight:
+        Admission bound of the coalescer: requests admitted but not yet
+        complete.  Beyond it ``totals``/``campaign`` raise
+        :class:`~repro.resilience.errors.ServiceOverloaded` (load
+        shedding); ``None`` disables the bound.
     lint:
         Netlist pre-flight policy applied when a circuit is first compiled
         (cache hits return the already-linted instance).
@@ -112,6 +119,12 @@ class EstimationSession:
     Thread safety: ``totals``/``campaign``/``compiled``/``library`` may be
     called from any number of threads; compiles and library registration
     are serialized, engine passes run outside the session lock.
+
+    Graceful degradation: when a *coalesced* evaluation fails for any
+    reason other than the caller's own deadline or load shedding, the
+    request falls back to a direct serial evaluation of its own payload
+    (counted in ``stats()["session"]["degraded_requests"]``) — a poisoned
+    batch-mate can fail its own request, never an innocent one.
     """
 
     def __init__(
@@ -120,6 +133,7 @@ class EstimationSession:
         compile_cache: CompileCache | None = None,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         max_batch_vectors: int = DEFAULT_MAX_BATCH_VECTORS,
+        max_in_flight: int | None = DEFAULT_MAX_IN_FLIGHT,
         lint: str = "raise",
     ) -> None:
         if store is not None and not isinstance(store, LibraryStore):
@@ -128,13 +142,16 @@ class EstimationSession:
         self.compile_cache = compile_cache or CompileCache()
         self.lint = lint
         self._coalescer = RequestCoalescer(
-            window_s=batch_window_s, max_batch_vectors=max_batch_vectors
+            window_s=batch_window_s,
+            max_batch_vectors=max_batch_vectors,
+            max_in_flight=max_in_flight,
         )
         self._lock = threading.Lock()
         self._libraries: dict[str, GateLibrary] = {}
         self._library_hits = 0
         self._library_misses = 0
         self._requests = 0
+        self._degraded_requests = 0
 
     # ------------------------------------------------------------------ #
     # characterized-library registry
@@ -236,6 +253,7 @@ class EstimationSession:
         include_loading: bool = True,
         coalesce: bool = True,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """Return the total circuit leakage (A) per vector.
 
@@ -244,7 +262,10 @@ class EstimationSession:
         in ``circuit.primary_inputs`` row order.  With ``coalesce=True``
         (default) the request may merge with concurrent ``totals`` requests
         against the same compiled circuit into one engine pass — results
-        are bitwise identical either way.
+        are bitwise identical either way.  ``deadline_s`` bounds this
+        caller's wait; expiry raises
+        :class:`~repro.resilience.errors.DeadlineExceeded` without
+        disturbing the batch.
         """
         compiled = self.compiled(circuit, library)
         if isinstance(vectors, np.ndarray):
@@ -252,11 +273,15 @@ class EstimationSession:
         else:
             pi_bits = compiled.validate_assignments([dict(v) for v in vectors])
         self._count_request()
-        if not coalesce or pi_bits.shape[1] == 0:
+
+        def run_direct() -> np.ndarray:
             return run_totals(
                 compiled, pi_bits, include_loading=include_loading,
                 chunk_size=chunk_size,
             )
+
+        if not coalesce or pi_bits.shape[1] == 0:
+            return run_direct()
 
         def run_batch(payloads: list[np.ndarray]) -> list[np.ndarray]:
             stacked = np.concatenate(payloads, axis=1)
@@ -273,7 +298,9 @@ class EstimationSession:
             return results
 
         key = (id(compiled), bool(include_loading), "totals")
-        result = self._coalescer.submit(key, pi_bits, pi_bits.shape[1], run_batch)
+        result = self._submit_degradable(
+            key, pi_bits, pi_bits.shape[1], run_batch, deadline_s, run_direct
+        )
         assert isinstance(result, np.ndarray)
         return result
 
@@ -285,6 +312,7 @@ class EstimationSession:
         include_loading: bool = True,
         coalesce: bool = True,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        deadline_s: float | None = None,
     ) -> BatchedCampaignRun:
         """Run a full campaign (per-gate arrays, lazy reports) over ``vectors``.
 
@@ -292,15 +320,21 @@ class EstimationSession:
         :class:`~repro.engine.campaign.BatchedCampaignRun`.  Coalesced
         campaign requests merge into one :func:`run_compiled` pass and are
         split back by vector columns — bitwise identical to running alone.
+        ``deadline_s`` bounds this caller's wait exactly as in
+        :meth:`totals`.
         """
         assignments = [dict(v) for v in vectors]
         compiled = self.compiled(circuit, library)
         self._count_request()
-        if not coalesce or not assignments:
+
+        def run_direct() -> BatchedCampaignRun:
             return run_compiled(
                 compiled, assignments, include_loading=include_loading,
                 chunk_size=chunk_size,
             )
+
+        if not coalesce or not assignments:
+            return run_direct()
 
         def run_batch(
             payloads: list[list[dict[str, int]]],
@@ -319,7 +353,9 @@ class EstimationSession:
             return results
 
         key = (id(compiled), bool(include_loading), "campaign")
-        result = self._coalescer.submit(key, assignments, len(assignments), run_batch)
+        result = self._submit_degradable(
+            key, assignments, len(assignments), run_batch, deadline_s, run_direct
+        )
         assert isinstance(result, BatchedCampaignRun)
         return result
 
@@ -360,6 +396,40 @@ class EstimationSession:
             )
 
     # ------------------------------------------------------------------ #
+    # degradation
+    # ------------------------------------------------------------------ #
+    def _submit_degradable(
+        self,
+        key: Any,
+        payload: Any,
+        n_vectors: int,
+        run_batch: Any,
+        deadline_s: float | None,
+        run_direct: Any,
+    ) -> Any:
+        """Submit to the coalescer; degrade to direct evaluation on failure.
+
+        A coalesced batch can fail because of *any* of its members (a
+        poisoned payload, a dying ``run_batch``).  This caller's own
+        deadline expiry and admission-control shedding propagate as-is —
+        they are verdicts about this request.  Every other batch error
+        triggers graceful degradation: the request re-evaluates its own
+        payload directly (serial, uncoalesced), so a healthy request never
+        fails because of the company it kept; if the payload itself is the
+        poison, the direct run raises the true error.
+        """
+        try:
+            return self._coalescer.submit(
+                key, payload, n_vectors, run_batch, deadline_s=deadline_s
+            )
+        except (DeadlineExceeded, ServiceOverloaded):
+            raise
+        except Exception:
+            with self._lock:
+                self._degraded_requests += 1
+            return run_direct()
+
+    # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, dict[str, int]]:
@@ -370,7 +440,9 @@ class EstimationSession:
         ``libraries`` (registry hits/misses/entries) and — when a store is
         configured — ``store`` (loads/publishes/record counts).
         ``requests`` under ``session`` counts every front-end call
-        (totals/campaign/streamed chunk), coalesced or not.
+        (totals/campaign/streamed chunk), coalesced or not;
+        ``degraded_requests`` counts coalesced requests that fell back to
+        direct serial evaluation after a batch failure.
         """
         with self._lock:
             libraries = {
@@ -379,8 +451,9 @@ class EstimationSession:
                 "misses": self._library_misses,
             }
             requests = self._requests
+            degraded = self._degraded_requests
         stats: dict[str, dict[str, int]] = {
-            "session": {"requests": requests},
+            "session": {"requests": requests, "degraded_requests": degraded},
             "compile_cache": self.compile_cache.cache_info().as_dict(),
             "coalescer": self._coalescer.stats(),
             "libraries": libraries,

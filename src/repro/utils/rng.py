@@ -9,6 +9,8 @@ set and the same Monte-Carlo samples.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 RngLike = int | np.random.Generator | None
@@ -43,6 +45,64 @@ def spawn_streams(rng: RngLike, count: int) -> list[np.random.Generator]:
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     return list(ensure_rng(rng).spawn(count))
+
+
+def keyed_rng(seed: int, *key: int | str) -> np.random.Generator:
+    """Return a generator deterministically keyed by ``(seed, *key)``.
+
+    Unlike :func:`spawn_streams`, the derivation is *stateless*: the same
+    ``(seed, key)`` always yields the same stream, independent of how many
+    other streams exist or in which order they are created.  This is what
+    the fault injector and the retry-backoff jitter need — a decision for
+    (chunk 7, attempt 2) must be reproducible on its own, without replaying
+    the decisions before it.  String key parts are hashed (SHA-256) to a
+    stable integer, so the derivation never depends on ``PYTHONHASHSEED``.
+    """
+    entropy: list[int] = [int(seed)]
+    for part in key:
+        if isinstance(part, str):
+            digest = hashlib.sha256(part.encode()).digest()[:8]
+            entropy.append(int.from_bytes(digest, "big"))
+        elif isinstance(part, (int, np.integer)):
+            if int(part) < 0:
+                raise ValueError(f"keyed_rng key parts must be non-negative, got {part}")
+            entropy.append(int(part))
+        else:
+            raise TypeError(
+                f"keyed_rng key parts must be int or str, got {type(part).__name__}"
+            )
+    return np.random.default_rng(entropy)
+
+
+def rng_state_token(rng: RngLike) -> object:
+    """Return a canonical, JSON-able token of ``rng``'s current state.
+
+    Used by checkpoint fingerprints: a checkpoint taken under one RNG state
+    must be refused by a resume attempt under another, or the resumed run
+    could not be bitwise identical to a clean one.  ``None`` (fresh
+    unreproducible generator) returns ``None`` — such runs cannot be
+    checkpoint-resumed bitwise and the checkpoint layer rejects them.
+    An integer seed is its own token; a generator's token is its bit
+    generator's full state tree (plain ints/strings, JSON-stable).
+    """
+    if rng is None:
+        return None
+    if isinstance(rng, (int, np.integer)):
+        return int(rng)
+    if isinstance(rng, np.random.Generator):
+        return _canonical_state(rng.bit_generator.state)
+    raise TypeError(f"cannot token-ize RNG state of {type(rng).__name__}")
+
+
+def _canonical_state(state: object) -> object:
+    """Recursively convert a bit-generator state tree to JSON-able types."""
+    if isinstance(state, dict):
+        return {str(k): _canonical_state(v) for k, v in sorted(state.items())}
+    if isinstance(state, (list, tuple, np.ndarray)):
+        return [_canonical_state(v) for v in state]
+    if isinstance(state, (np.integer,)):
+        return int(state)
+    return state
 
 
 def spawn_child(rng: np.random.Generator) -> np.random.Generator:

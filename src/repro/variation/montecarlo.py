@@ -81,6 +81,9 @@ class MonteCarloResult:
     input_loads: int
     output_loads: int
     samples: list[MonteCarloSample] = field(default_factory=list)
+    #: Execution provenance (e.g. the supervised pool's retry ledger under
+    #: ``"resilience"``); never feeds back into the sample values.
+    metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def sample_count(self) -> int:
@@ -268,11 +271,6 @@ def simulate_batch(
         )
         for index in range(len(loaded_flat))
     ]
-
-
-def _simulate_sample_star(args: tuple[SampleTask, np.random.Generator]) -> MonteCarloSample:
-    """Process-pool adapter: unpack the (task, stream) pair."""
-    return simulate_sample(*args)
 
 
 def _simulate_batch_star(

@@ -108,6 +108,24 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
         "compile_cache.hits": int,
         "compile_cache.misses": int,
     },
+    "resilience.json": {
+        "seed": int,
+        "samples": int,
+        "workers": int,
+        "max_overhead_bar": NUMBER,
+        "fault_free.seconds": NUMBER,
+        "fault_free.bitwise_identical": bool,
+        "faulted.seconds": NUMBER,
+        "faulted.bitwise_identical": bool,
+        "faulted.overhead_vs_fault_free": NUMBER,
+        "faulted.retries": int,
+        "faulted.pool_restarts": int,
+        "faulted.gave_up": int,
+        "resume.bitwise_identical": bool,
+        "resume.resumed_chunks": int,
+        "resume.reexecuted_attempts": int,
+        "resume.checkpoint_publishes": int,
+    },
     "vector_search.json": {
         "seed": int,
         "engine": str,

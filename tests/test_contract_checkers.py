@@ -153,6 +153,54 @@ class TestRC105FloatDowncast:
         assert codes(snippet, GENERIC_PATH) == []
 
 
+RESILIENT_PATH = "src/repro/engine/snippet.py"
+
+
+class TestRC106SwallowedFailure:
+    def test_fires_on_bare_except_pass(self):
+        snippet = "try:\n    go()\nexcept:\n    pass\n"
+        assert codes(snippet, RESILIENT_PATH) == ["RC106"]
+
+    def test_fires_on_except_exception_pass(self):
+        snippet = "try:\n    go()\nexcept Exception:\n    pass\n"
+        assert codes(snippet, RESILIENT_PATH) == ["RC106"]
+
+    def test_fires_on_swallowed_broken_process_pool(self):
+        snippet = (
+            "from concurrent.futures.process import BrokenProcessPool\n"
+            "try:\n    go()\nexcept BrokenProcessPool:\n    continue\n"
+        )
+        assert codes(snippet, RESILIENT_PATH) == ["RC106"]
+
+    def test_fires_on_broad_member_of_tuple(self):
+        snippet = "try:\n    go()\nexcept (ValueError, Exception):\n    pass\n"
+        assert codes(snippet, RESILIENT_PATH) == ["RC106"]
+
+    def test_docstring_only_body_is_still_swallowed(self):
+        snippet = (
+            "try:\n    go()\nexcept Exception:\n"
+            "    'a comment does not handle a failure'\n"
+        )
+        assert codes(snippet, RESILIENT_PATH) == ["RC106"]
+
+    def test_handled_broad_exception_is_clean(self):
+        snippet = (
+            "try:\n    go()\nexcept Exception as exc:\n"
+            "    release(exc)\n    raise\n"
+        )
+        assert codes(snippet, RESILIENT_PATH) == []
+
+    def test_narrow_swallow_is_clean(self):
+        snippet = "try:\n    go()\nexcept KeyError:\n    pass\n"
+        assert codes(snippet, RESILIENT_PATH) == []
+
+    def test_scoped_to_execution_critical_paths_only(self):
+        snippet = "try:\n    go()\nexcept Exception:\n    pass\n"
+        assert codes(snippet, GENERIC_PATH) == []
+        assert codes(snippet, "src/repro/service/snippet.py") == ["RC106"]
+        assert codes(snippet, "src/repro/resilience/snippet.py") == ["RC106"]
+
+
 class TestHarness:
     def test_syntax_error_reported_not_raised(self):
         found = check_source("def broken(:\n", GENERIC_PATH)
@@ -169,7 +217,9 @@ class TestHarness:
         registry = [spec.code for spec in CHECKERS]
         assert registry == sorted(registry)
         assert len(set(registry)) == len(registry)
-        assert registry == ["RC101", "RC102", "RC103", "RC104", "RC105"]
+        assert registry == [
+            "RC101", "RC102", "RC103", "RC104", "RC105", "RC106",
+        ]
 
     def test_source_tree_is_contract_clean(self):
         violations = check_tree([REPO_ROOT / "src", REPO_ROOT / "tools"])

@@ -33,7 +33,12 @@ from repro.engine.compile import CompileCache, compile_circuit
 from repro.gates.cache import LibraryStore
 from repro.gates.characterize import CharacterizationOptions, GateLibrary
 from repro.gates.library import GateType
-from repro.service import EstimationSession, RequestCoalescer
+from repro.service import (
+    DeadlineExceeded,
+    EstimationSession,
+    RequestCoalescer,
+    ServiceOverloaded,
+)
 from repro.service.session import stats_delta
 
 #: Same reduced injection grid as the conftest fixtures, so libraries built
@@ -320,6 +325,179 @@ def test_coalescer_rejects_bad_parameters():
         RequestCoalescer(window_s=-0.1)
     with pytest.raises(ValueError):
         RequestCoalescer(max_batch_vectors=0)
+    with pytest.raises(ValueError):
+        RequestCoalescer(max_in_flight=0)
+    coalescer = RequestCoalescer()
+    with pytest.raises(ValueError):
+        coalescer.submit("k", [1], 1, lambda p: p, deadline_s=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# coalescer hardening: deadlines, load shedding, leader death (PR 9)
+# --------------------------------------------------------------------------- #
+
+
+def test_deadline_returns_to_caller_without_sinking_the_batch():
+    """A caller's deadline expires promptly; the evaluation still lands."""
+    coalescer = RequestCoalescer(window_s=0.01, max_batch_vectors=10_000)
+    release = threading.Event()
+    evaluated = threading.Event()
+
+    def slow_batch(payloads):
+        assert release.wait(timeout=10.0)
+        evaluated.set()
+        return payloads
+
+    start = time.monotonic()
+    with pytest.raises(DeadlineExceeded):
+        coalescer.submit("k", [1], 1, slow_batch, deadline_s=0.1)
+    elapsed = time.monotonic() - start
+    # The caller got out in about one deadline, not one evaluation.
+    assert elapsed < 5.0
+    release.set()
+    assert evaluated.wait(timeout=10.0)  # batch kept running regardless
+    assert coalescer.stats()["deadline_exceeded"] == 1
+    # The coalescer is not wedged: a fresh request completes normally.
+    assert coalescer.submit("k", [2], 1, lambda p: p) == [2]
+
+
+def test_window_zero_flushes_immediately():
+    """``window_s=0`` is a valid degenerate config: no batching delay."""
+    coalescer = RequestCoalescer(window_s=0.0, max_batch_vectors=10_000)
+    start = time.monotonic()
+    result = coalescer.submit(
+        "k", [7], 1, lambda payloads: [[x * 2 for x in p] for p in payloads]
+    )
+    assert result == [14]
+    assert time.monotonic() - start < 5.0
+    assert coalescer.stats()["batches"] == 1
+
+
+def test_admission_control_sheds_load_when_full():
+    """At max_in_flight the coalescer refuses instead of queueing forever."""
+    coalescer = RequestCoalescer(
+        window_s=0.01, max_batch_vectors=10_000, max_in_flight=1
+    )
+    occupied = threading.Event()
+    release = threading.Event()
+    results: dict[str, object] = {}
+
+    def slow_batch(payloads):
+        occupied.set()
+        assert release.wait(timeout=10.0)
+        return payloads
+
+    def occupant():
+        results["occupant"] = coalescer.submit("k", [1], 1, slow_batch)
+
+    thread = threading.Thread(target=occupant)
+    thread.start()
+    assert occupied.wait(timeout=10.0)
+    with pytest.raises(ServiceOverloaded):
+        coalescer.submit("k", [2], 1, lambda p: p)
+    release.set()
+    thread.join(timeout=10.0)
+    assert results["occupant"] == [1]
+    stats = coalescer.stats()
+    assert stats["rejected"] == 1
+    assert stats["in_flight"] == 0  # slots are released on every path
+
+
+def test_leader_death_releases_followers():
+    """If the leader dies before flushing, followers get the error — they
+    never hang on a batch nobody will run."""
+    coalescer = RequestCoalescer(window_s=0.05, max_batch_vectors=10_000)
+    outcomes: dict[str, BaseException | str] = {}
+    real_start = threading.Thread.start
+
+    def exploding_start(self, *args, **kwargs):
+        if self.name.startswith("coalescer-flush"):
+            raise RuntimeError("leader died before flush")
+        return real_start(self, *args, **kwargs)
+
+    def member(name: str, wait_for_leader: bool):
+        if wait_for_leader:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                with coalescer._lock:
+                    if coalescer._request_vectors >= 1:
+                        break
+                time.sleep(0.001)
+        try:
+            coalescer.submit("k", [1], 1, lambda p: p)
+            outcomes[name] = "ok"
+        except RuntimeError as exc:
+            outcomes[name] = exc
+
+    threading.Thread.start = exploding_start
+    try:
+        threads = [
+            threading.Thread(target=member, args=("leader", False)),
+            threading.Thread(target=member, args=("follower", True)),
+        ]
+        for t in threads:
+            real_start(t)
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive(), "a coalescer member hung on leader death"
+    finally:
+        threading.Thread.start = real_start
+
+    assert all(
+        isinstance(outcome, RuntimeError)
+        and "leader died" in str(outcome)
+        for outcome in outcomes.values()
+    ), outcomes
+    # The coalescer recovered: the next request flushes normally.
+    assert coalescer.submit("k", [3], 1, lambda p: p) == [3]
+
+
+def test_session_degrades_to_direct_evaluation_on_coalescer_failure(
+    circuit, library_d25s
+):
+    """A broken coalescer downgrades service, never correctness."""
+    session = EstimationSession()
+    bits = _random_bits(circuit, 8, seed=21)
+    expected = session.totals(circuit, library_d25s, bits, coalesce=False)
+
+    def broken_submit(*args, **kwargs):
+        raise RuntimeError("coalescer wedged")
+
+    session._coalescer.submit = broken_submit  # type: ignore[method-assign]
+    degraded = session.totals(circuit, library_d25s, bits)
+    assert np.array_equal(degraded, expected)
+    assert session.stats()["session"]["degraded_requests"] == 1
+
+
+def test_session_does_not_degrade_deadline_or_overload(circuit, library_d25s):
+    """Deadline/overload are caller contracts — they propagate, with no
+    silent serial fallback that would blow the deadline anyway."""
+    session = EstimationSession()
+    bits = _random_bits(circuit, 4, seed=22)
+
+    def deadline_submit(*args, **kwargs):
+        raise DeadlineExceeded("past deadline")
+
+    session._coalescer.submit = deadline_submit  # type: ignore[method-assign]
+    with pytest.raises(DeadlineExceeded):
+        session.totals(circuit, library_d25s, bits, deadline_s=0.5)
+
+    def overloaded_submit(*args, **kwargs):
+        raise ServiceOverloaded("queue full")
+
+    session._coalescer.submit = overloaded_submit  # type: ignore[method-assign]
+    with pytest.raises(ServiceOverloaded):
+        session.totals(circuit, library_d25s, bits)
+    assert session.stats()["session"]["degraded_requests"] == 0
+
+
+def test_session_campaign_honors_deadline(circuit, library_d25s):
+    """campaign() forwards deadlines exactly like totals()."""
+    session = EstimationSession()
+    vectors = list(random_vectors(circuit, 4, rng=9))
+    expected = session.campaign(circuit, library_d25s, vectors, coalesce=False)
+    run = session.campaign(circuit, library_d25s, vectors, deadline_s=30.0)
+    assert np.array_equal(run.per_gate, expected.per_gate)
 
 
 # --------------------------------------------------------------------------- #

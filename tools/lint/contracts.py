@@ -34,6 +34,15 @@ in every environment the tests run in):
     component magnitudes span ~1e-12..1e-5 A and the solver tolerances sit
     at 1e-11 V, far below float32 resolution.
 
+``RC106 swallowed-failure``
+    In the execution-critical paths (``engine/``, ``service/``,
+    ``resilience/``) no broad exception handler — bare ``except``,
+    ``except Exception``/``BaseException``, or any handler catching
+    ``BrokenProcessPool`` — may silently discard the failure (a body of
+    only ``pass``/``continue``/docstring).  A swallowed worker death or
+    batch error turns a recoverable fault into silently wrong or hanging
+    results; handle it (retry, release waiters, degrade) or re-raise.
+
 A violating line can be suppressed with a trailing
 ``# contract: allow(RC104)`` comment naming the code.
 """
@@ -429,6 +438,87 @@ def check_float_downcasts(
     return violations
 
 
+# --------------------------------------------------------------------- #
+# RC106 — silently swallowed failures in execution-critical paths
+# --------------------------------------------------------------------- #
+
+#: Exception names a handler must never both catch broadly and discard.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+_POOL_EXCEPTIONS = frozenset(
+    {
+        "BrokenProcessPool",
+        "concurrent.futures.process.BrokenProcessPool",
+        "concurrent.futures.BrokenExecutor",
+        "BrokenExecutor",
+    }
+)
+
+
+def _is_resilient_path(path: str) -> bool:
+    posix = Path(path).as_posix()
+    return any(
+        part in posix for part in ("/engine/", "/service/", "/resilience/")
+    )
+
+
+def _handler_exception_names(
+    aliases: dict[str, str], handler: ast.ExceptHandler
+) -> list[str]:
+    """Return the resolved dotted names a handler catches ('' for bare)."""
+    if handler.type is None:
+        return [""]
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = []
+    for node in types:
+        resolved = _resolve(aliases, node)
+        if resolved is not None:
+            names.append(resolved)
+    return names
+
+
+def _is_trivial_body(body: list[ast.stmt]) -> bool:
+    """True when a handler body discards the failure without acting on it."""
+    return all(
+        isinstance(stmt, (ast.Pass, ast.Continue))
+        or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+        for stmt in body
+    )
+
+
+def check_swallowed_failures(
+    tree: ast.Module, aliases: dict[str, str], path: str
+) -> list[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        names = _handler_exception_names(aliases, node)
+        broad = any(
+            name == "" or name in _BROAD_EXCEPTIONS or name in _POOL_EXCEPTIONS
+            for name in names
+        )
+        if broad and _is_trivial_body(node.body):
+            caught = ", ".join(name or "<bare>" for name in names)
+            violations.append(
+                Violation(
+                    code="RC106",
+                    message=(
+                        f"broad exception handler ({caught}) silently "
+                        "discards the failure in an execution-critical "
+                        "path; handle it (retry, release waiters, degrade) "
+                        "or re-raise"
+                    ),
+                    path=path,
+                    line=node.lineno,
+                )
+            )
+    return violations
+
+
 #: The checker registry.  Codes are stable; tooling and tests key on them.
 CHECKERS: tuple[CheckerSpec, ...] = (
     CheckerSpec(
@@ -465,6 +555,16 @@ CHECKERS: tuple[CheckerSpec, ...] = (
         description="No float32/float16 dtypes in device/spice numerics.",
         applies=_is_numerics_path,
         run=check_float_downcasts,
+    ),
+    CheckerSpec(
+        code="RC106",
+        slug="swallowed-failure",
+        description=(
+            "No silently swallowed broad/BrokenProcessPool exception "
+            "handlers in engine/, service/, resilience/."
+        ),
+        applies=_is_resilient_path,
+        run=check_swallowed_failures,
     ),
 )
 
