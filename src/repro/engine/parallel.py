@@ -45,12 +45,21 @@ from repro.resilience import ResilienceOptions, checkpoint_fingerprint
 from repro.spice.solver import SolverOptions
 from repro.utils.rng import RngLike, rng_state_token, spawn_streams
 from repro.variation.montecarlo import (
+    SAMPLERS,
     MonteCarloResult,
+    _keep_converged,
+    _result_metadata,
     _simulate_batch_star,
+    _simulate_draws_batch_star,
+    _simulate_draws_scalar_star,
     build_sample_task,
+    loaded_transistor_count,
     simulate_batch,
+    simulate_batch_from_draws,
     simulate_sample,
+    simulate_samples_from_draws,
 )
+from repro.variation.qmc import draw_qmc_parameters
 from repro.variation.spec import VariationSpec
 
 
@@ -110,7 +119,9 @@ def supervised_map(
 def _simulate_scalar_chunk_star(args):
     """Process-pool adapter: run one contiguous chunk of scalar samples."""
     task, streams = args
-    return [simulate_sample(task, stream) for stream in streams]
+    return _keep_converged(
+        task, [simulate_sample(task, stream) for stream in streams]
+    )
 
 
 class ParallelMonteCarlo:
@@ -132,6 +143,17 @@ class ParallelMonteCarlo:
         ``"batched"`` (default) ships contiguous stream chunks to workers,
         each solved as one batch; ``"scalar"`` ships contiguous sample
         chunks through the reference path one sample at a time.
+    sampler:
+        ``"mc"`` (default) spawns one pseudo-random stream per sample;
+        ``"qmc"`` draws the whole scrambled-Sobol parameter block up front
+        and ships :meth:`~repro.variation.qmc.ParameterDraws.slice` chunks
+        — chunk boundaries choose *who* solves a sample, never *which*
+        parameters it gets, so pooled runs stay bitwise serial-identical.
+    on_nonconverged:
+        Non-convergence policy forwarded to every sample solve (``"warn"``
+        / ``"raise"`` / ``"drop"``); under ``"drop"`` the pooled result
+        reports the dropped count in ``metadata["dropped_nonconverged"]``
+        exactly like the serial driver.
     resilience:
         Optional :class:`~repro.resilience.ResilienceOptions` — retry
         policy, per-chunk deadline, checkpoint/resume, fault injection.
@@ -151,6 +173,8 @@ class ParallelMonteCarlo:
         solver_options: SolverOptions | None = None,
         max_workers: int | None = None,
         engine: str = "batched",
+        sampler: str = "mc",
+        on_nonconverged: str = "warn",
         resilience: ResilienceOptions | None = None,
     ) -> None:
         self.task = build_sample_task(
@@ -161,11 +185,17 @@ class ParallelMonteCarlo:
             output_loads=output_loads,
             temperature_k=temperature_k,
             solver_options=solver_options,
+            on_nonconverged=on_nonconverged,
         )
         if engine not in ("batched", "scalar"):
             raise ValueError(f"unknown Monte-Carlo engine {engine!r}")
+        if sampler not in SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {sampler!r}; expected one of {SAMPLERS}"
+            )
         self.max_workers = default_workers(max_workers)
         self.engine = engine
+        self.sampler = sampler
         self.resilience = resilience
 
     def run(self, samples: int, rng: RngLike = None) -> MonteCarloResult:
@@ -174,9 +204,11 @@ class ParallelMonteCarlo:
         Samples keep their stream order in the result (worker completion
         order never matters), so ``run(n, seed)`` equals the serial
         ``run_loaded_inverter_monte_carlo(..., samples=n, rng=seed,
-        engine=...)`` sample for sample — bitwise, for either engine, and
-        still under injected faults: a retried chunk re-runs from its
-        original spawned streams, which live untouched in this process.
+        engine=..., sampler=...)`` sample for sample — bitwise, for either
+        engine and either sampler, and still under injected faults: a
+        retried chunk re-runs from its original spawned streams (``"mc"``)
+        or its pre-drawn parameter slice (``"qmc"``), which live untouched
+        in this process.
         """
         if samples < 1:
             raise ValueError("samples must be at least 1")
@@ -187,14 +219,32 @@ class ParallelMonteCarlo:
             and self.resilience.checkpoint_path is not None
             else "absent"
         )
-        streams = spawn_streams(rng, samples)
+        draws = streams = None
+        if self.sampler == "qmc":
+            draws = draw_qmc_parameters(
+                task.spec,
+                samples,
+                loaded_transistor_count(task.input_loads, task.output_loads),
+                rng,
+            )
+        else:
+            streams = spawn_streams(rng, samples)
         workers = min(self.max_workers, samples)
         metadata: dict[str, object] = {}
         if workers == 1 and self.resilience is None:
-            if self.engine == "batched":
+            if self.sampler == "qmc":
+                simulate_draws = (
+                    simulate_batch_from_draws
+                    if self.engine == "batched"
+                    else simulate_samples_from_draws
+                )
+                results = simulate_draws(task, draws)
+            elif self.engine == "batched":
                 results = simulate_batch(task, streams)
             else:
-                results = [simulate_sample(task, stream) for stream in streams]
+                results = _keep_converged(
+                    task, [simulate_sample(task, stream) for stream in streams]
+                )
         else:
             # Contiguous chunks, one pool task per chunk; order-preserving
             # supervised map + per-column solver independence keep results
@@ -202,28 +252,43 @@ class ParallelMonteCarlo:
             # worker count, or injected faults.
             if self.engine == "batched":
                 chunk = -(-samples // workers)
-                fn: Callable[[Any], Any] = _simulate_batch_star
+                fn: Callable[[Any], Any] = (
+                    _simulate_draws_batch_star
+                    if self.sampler == "qmc"
+                    else _simulate_batch_star
+                )
             else:
                 chunk = max(1, samples // (workers * 4))
-                fn = _simulate_scalar_chunk_star
-            chunks = [
-                streams[start : start + chunk] for start in range(0, samples, chunk)
-            ]
+                fn = (
+                    _simulate_draws_scalar_star
+                    if self.sampler == "qmc"
+                    else _simulate_scalar_chunk_star
+                )
+            starts = range(0, samples, chunk)
+            if self.sampler == "qmc":
+                items = [(task, draws.slice(start, start + chunk)) for start in starts]
+            else:
+                items = [(task, streams[start : start + chunk]) for start in starts]
             batches, metadata = supervised_map(
                 fn,
-                [(task, chunk_streams) for chunk_streams in chunks],
+                items,
                 workers,
                 self.resilience,
                 lambda: {
                     "kind": "monte-carlo",
                     "engine": self.engine,
+                    "sampler": self.sampler,
                     "task": task,
                     "samples": samples,
-                    "chunks": len(chunks),
+                    "chunks": len(items),
                     "rng": rng_token,
                 },
             )
             results = [sample for batch in batches for sample in batch]
+        metadata = {
+            **_result_metadata(self.sampler, task, samples, len(results)),
+            **metadata,
+        }
         return MonteCarloResult(
             spec=task.spec,
             input_value=task.input_value,

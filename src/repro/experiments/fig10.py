@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.device.params import TechnologyParams
 from repro.device.presets import make_technology
+from repro.spice.solver import SolverOptions
 from repro.utils.rng import RngLike
 from repro.utils.tables import format_table
 from repro.variation.montecarlo import MonteCarloResult, run_loaded_inverter_monte_carlo
@@ -84,12 +85,22 @@ def run_fig10_variation_histograms(
     input_loads: int = 6,
     output_loads: int = 6,
     engine: str = "batched",
+    sampler: str = "mc",
+    on_nonconverged: str = "warn",
+    solver_options: SolverOptions | None = None,
 ) -> Fig10Result:
     """Run the Fig. 10 Monte-Carlo study (input '0', output '1').
 
     ``engine`` selects the Monte-Carlo solver path: ``"batched"`` (default)
     solves all samples as one batch, ``"scalar"`` keeps the per-sample
-    reference loop.
+    reference loop.  ``sampler`` picks the parameter sampler (``"mc"``
+    default, ``"qmc"`` scrambled Sobol) and ``on_nonconverged`` the
+    convergence policy, as in
+    :func:`repro.variation.montecarlo.run_loaded_inverter_monte_carlo`.
+
+    Raises ``ValueError`` when the recorded population is empty (every
+    sample dropped as non-converged) — an empty Fig. 10 histogram is a
+    configuration error, not data.
     """
     technology = technology or make_technology("d25-s")
     monte_carlo = run_loaded_inverter_monte_carlo(
@@ -101,5 +112,14 @@ def run_fig10_variation_histograms(
         input_loads=input_loads,
         output_loads=output_loads,
         engine=engine,
+        sampler=sampler,
+        on_nonconverged=on_nonconverged,
+        solver_options=solver_options,
     )
+    if monte_carlo.sample_count == 0:
+        raise ValueError(
+            f"Fig. 10 study with {input_loads}+{output_loads} loads has no "
+            f"recorded samples: all {samples} Monte-Carlo samples were "
+            "dropped as non-converged"
+        )
     return Fig10Result(monte_carlo=monte_carlo)

@@ -14,14 +14,25 @@ from dataclasses import dataclass, field
 
 from repro.device.params import TechnologyParams
 from repro.device.presets import make_technology
+from repro.spice.solver import SolverOptions
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.tables import format_table
 from repro.variation.montecarlo import run_loaded_inverter_monte_carlo
 from repro.variation.spec import VariationSpec
-from repro.variation.statistics import loading_shift_of_mean, loading_shift_of_std
+from repro.variation.statistics import (
+    loading_shift_of_mean,
+    loading_shift_of_std,
+    lognormal_shift_of_mean,
+    lognormal_shift_of_std,
+)
 
 #: Inter-die Vth sigmas swept by the paper, in volts.
 DEFAULT_SIGMA_VT_INTER_V = (0.030, 0.040, 0.050)
+
+#: Shift estimators selectable by ``run_fig11_variation_statistics``:
+#: ``"empirical"`` is the direct sample mean/std, ``"lognormal"`` the
+#: variance-reduced moment-matched plug-in (pairs well with ``sampler="qmc"``).
+FIG11_ESTIMATORS = ("empirical", "lognormal")
 
 
 @dataclass
@@ -73,13 +84,40 @@ def run_fig11_variation_statistics(
     component: str = "total",
     base_spec: VariationSpec | None = None,
     engine: str = "batched",
+    sampler: str = "mc",
+    on_nonconverged: str = "warn",
+    solver_options: SolverOptions | None = None,
+    estimator: str = "empirical",
 ) -> Fig11Result:
     """Sweep the inter-die Vth sigma and collect mean/std loading shifts.
 
     ``engine`` selects the Monte-Carlo solver path (``"batched"`` default,
-    ``"scalar"`` reference), as in
+    ``"scalar"`` reference), ``sampler`` the parameter sampler (``"mc"``
+    default, ``"qmc"`` scrambled Sobol) and ``on_nonconverged`` the
+    convergence policy, as in
     :func:`repro.variation.montecarlo.run_loaded_inverter_monte_carlo`.
+    ``estimator`` picks how the shifts are computed from the populations:
+    ``"empirical"`` (default) uses the direct sample mean/std,
+    ``"lognormal"`` the moment-matched plug-in
+    (:func:`~repro.variation.statistics.lognormal_shift_of_std`) whose
+    replicate scatter is several times smaller at equal budget — the
+    variance-reduced Fig. 11 is ``sampler="qmc"`` + ``estimator="lognormal"``.
+
+    A sigma point whose populations come back empty (``samples=0`` is
+    rejected up front; ``on_nonconverged="drop"`` can drain a point) raises
+    a ``ValueError`` naming the sigma instead of letting ``np.mean`` /
+    ``np.std`` warnings leak into :class:`Fig11Result`.
     """
+    if estimator not in FIG11_ESTIMATORS:
+        raise ValueError(
+            f"estimator must be one of {FIG11_ESTIMATORS}, got {estimator!r}"
+        )
+    shift_of_mean = (
+        loading_shift_of_mean if estimator == "empirical" else lognormal_shift_of_mean
+    )
+    shift_of_std = (
+        loading_shift_of_std if estimator == "empirical" else lognormal_shift_of_std
+    )
     technology = technology or make_technology("d25-s")
     base_spec = base_spec or VariationSpec()
     generator = ensure_rng(rng)
@@ -93,14 +131,23 @@ def run_fig11_variation_statistics(
             rng=generator,
             input_value=0,
             engine=engine,
+            sampler=sampler,
+            on_nonconverged=on_nonconverged,
+            solver_options=solver_options,
         )
+        if monte_carlo.sample_count == 0:
+            raise ValueError(
+                f"Fig. 11 sigma point {sigma * 1e3:.0f} mV has no recorded "
+                f"samples: all {samples} Monte-Carlo samples were dropped as "
+                "non-converged"
+            )
         loaded = monte_carlo.values(component, loaded=True)
         unloaded = monte_carlo.values(component, loaded=False)
         result.points.append(
             Fig11Point(
                 sigma_vth_inter_v=float(sigma),
-                mean_shift_percent=loading_shift_of_mean(loaded, unloaded),
-                std_shift_percent=loading_shift_of_std(loaded, unloaded),
+                mean_shift_percent=shift_of_mean(loaded, unloaded),
+                std_shift_percent=shift_of_std(loaded, unloaded),
             )
         )
     return result

@@ -38,6 +38,7 @@ from repro.service.coalesce import (
 )
 from repro.service.session import (
     EstimationSession,
+    StatisticalLeakageEstimate,
     default_session,
     stats_delta,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "EstimationSession",
     "RequestCoalescer",
     "ServiceOverloaded",
+    "StatisticalLeakageEstimate",
     "default_session",
     "stats_delta",
 ]

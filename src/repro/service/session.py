@@ -37,6 +37,7 @@ compile cache is the same object legacy direct
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -56,12 +57,23 @@ from repro.engine.compile import (
 )
 from repro.gates.cache import LibraryStore, characterization_fingerprint
 from repro.gates.characterize import CharacterizationOptions, GateLibrary
+from repro.resilience.checkpoint import checkpoint_fingerprint
 from repro.resilience.errors import DeadlineExceeded, ServiceOverloaded
 from repro.service.coalesce import (
     DEFAULT_BATCH_WINDOW_S,
     DEFAULT_MAX_BATCH_VECTORS,
     DEFAULT_MAX_IN_FLIGHT,
     RequestCoalescer,
+)
+from repro.utils.rng import RngLike, rng_state_token, spawn_streams
+from repro.variation.montecarlo import run_loaded_inverter_monte_carlo
+from repro.variation.spec import VariationSpec
+from repro.variation.statistics import (
+    PercentileEstimate,
+    YieldEstimate,
+    equivalent_mc_samples,
+    percentile_leakage,
+    yield_fraction,
 )
 
 
@@ -86,6 +98,37 @@ def _slice_run(run: BatchedCampaignRun, lo: int, hi: int) -> BatchedCampaignRun:
         output_loading=run.output_loading[:, lo:hi].copy(),
         runtime_s=run.runtime_s * (hi - lo) / count,
     )
+
+
+#: Leakage components a statistical-leakage population records.
+_STATISTICAL_COMPONENTS = ("subthreshold", "gate", "btbt", "total")
+
+
+@dataclass(frozen=True)
+class StatisticalLeakageEstimate:
+    """Answer of :meth:`EstimationSession.percentile_leakage`.
+
+    ``percentile`` is the requested population percentile with its
+    bootstrap confidence interval; ``yield_estimate`` is present when a
+    leakage ``limit`` was passed.  ``equivalent_mc_samples`` reports how
+    many *plain Monte-Carlo* samples the variance-reduced population is
+    worth for this statistic (measured from replicate scatter — ~ the
+    pooled count for ``sampler="mc"``, substantially more for ``"qmc"``).
+    ``population_cached`` tells whether the query reused a pooled
+    population already computed by this session (same settings + seed) —
+    the compile-once / query-many shape: new percentiles against a cached
+    population cost bootstrap arithmetic, not circuit solves.
+    """
+
+    percentile: PercentileEstimate
+    yield_estimate: YieldEstimate | None
+    equivalent_mc_samples: float
+    sample_count: int
+    replicates: int
+    sampler: str
+    component: str
+    loaded: bool
+    population_cached: bool
 
 
 class EstimationSession:
@@ -152,6 +195,10 @@ class EstimationSession:
         self._library_misses = 0
         self._requests = 0
         self._degraded_requests = 0
+        #: Pooled variation populations keyed by settings fingerprint.
+        self._populations: dict[str, dict[tuple[str, bool], list[np.ndarray]]] = {}
+        self._population_hits = 0
+        self._population_misses = 0
 
     # ------------------------------------------------------------------ #
     # characterized-library registry
@@ -396,6 +443,151 @@ class EstimationSession:
             )
 
     # ------------------------------------------------------------------ #
+    # statistical leakage
+    # ------------------------------------------------------------------ #
+    def percentile_leakage(
+        self,
+        technology: Any,
+        percentile: float = 99.9,
+        spec: VariationSpec | None = None,
+        samples: int = 256,
+        replicates: int = 4,
+        rng: RngLike = 0,
+        component: str = "total",
+        loaded: bool = True,
+        input_value: int = 0,
+        input_loads: int = 6,
+        output_loads: int = 6,
+        sampler: str = "qmc",
+        engine: str = "batched",
+        on_nonconverged: str = "drop",
+        limit: float | None = None,
+        confidence: float = 0.95,
+        bootstrap: int = 500,
+    ) -> StatisticalLeakageEstimate:
+        """Estimate a leakage percentile (and yield) across process corners.
+
+        Runs ``replicates`` independent variation studies of the Fig. 10
+        loaded-inverter structure — with the default ``sampler="qmc"`` each
+        replicate is an independently scrambled Sobol block (seeded from
+        ``rng`` via ``SeedSequence.spawn``, reproducible) — pools the
+        populations, and answers with:
+
+        * the ``percentile`` leakage (e.g. 99.9 = the 99.9th-percentile
+          leakage across corners) with a bootstrap confidence interval;
+        * the yield fraction at ``limit`` when one is given;
+        * an honest ``equivalent_mc_samples`` figure: the replicate scatter
+          of the percentile statistic against a bootstrap proxy of the
+          plain-MC error at the same total budget.
+
+        The pooled population is cached under the SHA-256 fingerprint of
+        every setting that shapes it (technology tree, spec, budget,
+        sampler, engine, convergence policy, rng state token), so follow-up
+        queries — a different percentile, a different component, a yield
+        limit — reuse it without a single new circuit solve.  Dropped
+        non-converged samples (default policy ``"drop"``: a stalled corner
+        must not bias a yield estimate) simply shrink the population.
+        """
+        if replicates < 2:
+            raise ValueError(
+                "replicates must be at least 2 (the error estimate needs "
+                "replicate scatter)"
+            )
+        spec = spec or VariationSpec()
+        key = checkpoint_fingerprint(
+            {
+                "kind": "statistical-leakage-population",
+                "technology": technology,
+                "spec": spec,
+                "samples": samples,
+                "replicates": replicates,
+                "input_value": input_value,
+                "input_loads": input_loads,
+                "output_loads": output_loads,
+                "sampler": sampler,
+                "engine": engine,
+                "on_nonconverged": on_nonconverged,
+                "rng": rng_state_token(rng),
+            }
+        )
+        with self._lock:
+            populations = self._populations.get(key)
+            cached = populations is not None
+            if cached:
+                self._population_hits += 1
+            else:
+                self._population_misses += 1
+        self._count_request()
+        if populations is None:
+            streams = spawn_streams(rng, replicates)
+            runs = [
+                run_loaded_inverter_monte_carlo(
+                    technology,
+                    spec=spec,
+                    samples=samples,
+                    rng=stream,
+                    input_value=input_value,
+                    input_loads=input_loads,
+                    output_loads=output_loads,
+                    engine=engine,
+                    sampler=sampler,
+                    on_nonconverged=on_nonconverged,
+                )
+                for stream in streams
+            ]
+            populations = {
+                (name, flag): [run.values(name, loaded=flag) for run in runs]
+                for name in _STATISTICAL_COMPONENTS
+                for flag in (True, False)
+            }
+            with self._lock:
+                self._populations[key] = populations
+        if (component, loaded) not in populations:
+            raise KeyError(f"unknown leakage component {component!r}")
+        replicate_values = populations[(component, loaded)]
+        pooled = np.concatenate(replicate_values)
+        if pooled.size == 0:
+            raise ValueError(
+                "statistical-leakage population is empty: every Monte-Carlo "
+                "sample was dropped as non-converged"
+            )
+        estimate = percentile_leakage(
+            pooled, percentile, confidence=confidence, bootstrap=bootstrap, rng=0
+        )
+        replicate_stats = np.array(
+            [
+                np.percentile(values, percentile)
+                for values in replicate_values
+                if values.size
+            ]
+        )
+
+        def _percentile_stat(block: np.ndarray, axis: int) -> np.ndarray:
+            return np.percentile(block, percentile, axis=axis)
+
+        equivalent = equivalent_mc_samples(
+            pooled, replicate_stats, statistic=_percentile_stat, rng=0
+        )
+        yield_estimate = (
+            None
+            if limit is None
+            else yield_fraction(
+                pooled, limit, confidence=confidence, bootstrap=bootstrap, rng=0
+            )
+        )
+        return StatisticalLeakageEstimate(
+            percentile=estimate,
+            yield_estimate=yield_estimate,
+            equivalent_mc_samples=equivalent,
+            sample_count=int(pooled.size),
+            replicates=len(replicate_values),
+            sampler=sampler,
+            component=component,
+            loaded=loaded,
+            population_cached=cached,
+        )
+
+    # ------------------------------------------------------------------ #
     # degradation
     # ------------------------------------------------------------------ #
     def _submit_degradable(
@@ -440,15 +632,22 @@ class EstimationSession:
         ``libraries`` (registry hits/misses/entries) and — when a store is
         configured — ``store`` (loads/publishes/record counts).
         ``requests`` under ``session`` counts every front-end call
-        (totals/campaign/streamed chunk), coalesced or not;
-        ``degraded_requests`` counts coalesced requests that fell back to
-        direct serial evaluation after a batch failure.
+        (totals/campaign/streamed chunk/percentile query), coalesced or
+        not; ``degraded_requests`` counts coalesced requests that fell back
+        to direct serial evaluation after a batch failure.
+        ``statistical_leakage`` tracks the pooled-population cache behind
+        :meth:`percentile_leakage` (hits answer without circuit solves).
         """
         with self._lock:
             libraries = {
                 "entries": len(self._libraries),
                 "hits": self._library_hits,
                 "misses": self._library_misses,
+            }
+            statistical = {
+                "entries": len(self._populations),
+                "hits": self._population_hits,
+                "misses": self._population_misses,
             }
             requests = self._requests
             degraded = self._degraded_requests
@@ -457,6 +656,7 @@ class EstimationSession:
             "compile_cache": self.compile_cache.cache_info().as_dict(),
             "coalescer": self._coalescer.stats(),
             "libraries": libraries,
+            "statistical_leakage": statistical,
         }
         if self.store is not None:
             stats["store"] = self.store.stats()

@@ -24,6 +24,20 @@ as a second batch); ``"scalar"`` runs the original one-sample-at-a-time
 reference path.  Both consume identical random streams, so they simulate
 identical parameter draws and differ only at the solver-tolerance level.
 
+Two *samplers* are available on top: ``"mc"`` (default) draws pseudo-random
+parameters from per-sample ``SeedSequence.spawn`` streams; ``"qmc"`` draws
+the whole parameter block from a scrambled Sobol sequence
+(:mod:`repro.variation.qmc`) with the same marginal distributions — the
+variance-reduced path that reaches a given Fig. 10/11 accuracy at a
+fraction of the sample budget.
+
+Sample convergence is governed by ``on_nonconverged``: ``"warn"`` (default)
+records the sample and emits a :class:`MonteCarloConvergenceWarning`,
+``"raise"`` turns a stalled solve into a hard ``RuntimeError``, and
+``"drop"`` excludes the sample from the recorded populations (the dropped
+count is reported in ``MonteCarloResult.metadata``) — so a non-converged
+operating point can never silently bias the Fig. 10/11 statistics.
+
 The resulting paired samples are exactly what Fig. 10 histograms ("No
 Loading" vs "with Loading") and Fig. 11 statistics (loading-induced change of
 the mean and standard deviation) are computed from.
@@ -44,6 +58,7 @@ from repro.spice.analysis import ComponentBreakdown, leakage_by_owner
 from repro.spice.batched import BatchedDcSolver
 from repro.spice.solver import DcSolver, SolverOptions
 from repro.utils.rng import RngLike, spawn_streams
+from repro.variation.qmc import ParameterDraws, draw_qmc_parameters
 from repro.variation.spec import (
     VariationSpec,
     apply_inter_die,
@@ -54,6 +69,12 @@ from repro.variation.spec import (
 #: Name of the inverter under study inside the generated cluster.
 _TARGET_GATE = "g"
 
+#: Valid parameter samplers.
+SAMPLERS = ("mc", "qmc")
+
+#: Valid non-convergence policies.
+NONCONVERGED_POLICIES = ("warn", "raise", "drop")
+
 
 class MonteCarloConvergenceWarning(UserWarning):
     """A Monte-Carlo sample's DC solve ended without converging.
@@ -61,6 +82,9 @@ class MonteCarloConvergenceWarning(UserWarning):
     A sample recorded from a non-converged operating point can bias the
     Fig. 10/11 statistics; the warning names the structure and the worst
     final voltage update so the offending configuration is identifiable.
+    Emitted under ``on_nonconverged="warn"`` (the default); ``"raise"``
+    turns the condition into a ``RuntimeError`` and ``"drop"`` excludes the
+    affected samples instead.
     """
 
 
@@ -70,6 +94,8 @@ class MonteCarloSample:
 
     with_loading: ComponentBreakdown
     without_loading: ComponentBreakdown
+    #: True when both structure solves of this sample converged.
+    converged: bool = True
 
 
 @dataclass
@@ -81,14 +107,26 @@ class MonteCarloResult:
     input_loads: int
     output_loads: int
     samples: list[MonteCarloSample] = field(default_factory=list)
-    #: Execution provenance (e.g. the supervised pool's retry ledger under
+    #: Execution provenance (e.g. the sampler used, the count of samples
+    #: dropped as non-converged, the supervised pool's retry ledger under
     #: ``"resilience"``); never feeds back into the sample values.
     metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def sample_count(self) -> int:
-        """Return the number of Monte-Carlo samples."""
+        """Return the number of recorded Monte-Carlo samples."""
         return len(self.samples)
+
+    @property
+    def converged_mask(self) -> np.ndarray:
+        """Return the per-sample converged flags as a boolean array.
+
+        Under ``on_nonconverged="drop"`` non-converged samples are never
+        recorded, so the mask is all-True and
+        ``metadata["dropped_nonconverged"]`` carries the dropped count;
+        under ``"warn"`` the mask marks the suspect samples in place.
+        """
+        return np.array([s.converged for s in self.samples], dtype=bool)
 
     def values(self, component: str, loaded: bool = True) -> np.ndarray:
         """Return one component's samples in amperes.
@@ -108,6 +146,24 @@ class MonteCarloResult:
         )
 
 
+def _check_policy(on_nonconverged: str) -> str:
+    if on_nonconverged not in NONCONVERGED_POLICIES:
+        raise ValueError(
+            f"on_nonconverged must be one of {NONCONVERGED_POLICIES}, "
+            f"got {on_nonconverged!r}"
+        )
+    return on_nonconverged
+
+
+def _handle_nonconvergence(policy: str, message: str, stacklevel: int) -> None:
+    """Apply the non-convergence policy for one solve (or batch of solves)."""
+    if policy == "raise":
+        raise RuntimeError(message)
+    if policy == "warn":
+        warnings.warn(message, MonteCarloConvergenceWarning, stacklevel=stacklevel)
+    # "drop": the caller excludes the affected samples; nothing to emit.
+
+
 def _solve_target_leakage(
     circuit,
     technology: TechnologyParams,
@@ -115,8 +171,13 @@ def _solve_target_leakage(
     intra_vth: dict[str, float],
     temperature_k: float,
     solver_options: SolverOptions,
-) -> ComponentBreakdown:
-    """Flatten, apply per-transistor Vth shifts, solve, return gate ``g``'s leakage."""
+    on_nonconverged: str = "warn",
+) -> tuple[ComponentBreakdown, bool]:
+    """Flatten, apply per-transistor Vth shifts, solve, return gate ``g``'s leakage.
+
+    Returns ``(breakdown, converged)``; the non-convergence policy is
+    applied here for ``"warn"``/``"raise"`` (the caller drops).
+    """
     flattened = flatten(circuit, technology, input_assignment)
     for transistor in flattened.netlist.transistors:
         shift = intra_vth.get(transistor.name)
@@ -125,14 +186,14 @@ def _solve_target_leakage(
     solver = DcSolver(flattened.netlist, temperature_k, solver_options)
     op = solver.solve(initial_voltages=flattened.initial_voltages())
     if not op.converged:
-        warnings.warn(
+        _handle_nonconvergence(
+            on_nonconverged,
             f"Monte-Carlo solve of {circuit.name!r} did not converge within "
             f"{solver_options.max_sweeps} sweeps; largest final voltage "
             f"update {op.max_update:.3e} V",
-            MonteCarloConvergenceWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
-    return leakage_by_owner(flattened.netlist, op)[_TARGET_GATE]
+    return leakage_by_owner(flattened.netlist, op)[_TARGET_GATE], bool(op.converged)
 
 
 @dataclass(frozen=True)
@@ -151,6 +212,7 @@ class SampleTask:
     output_loads: int
     temperature_k: float
     solver_options: SolverOptions
+    on_nonconverged: str = "warn"
 
 
 def _draw_sample_parameters(
@@ -172,6 +234,17 @@ def _draw_sample_parameters(
     return shifted, dict(zip(loaded_flat_names, shifts))
 
 
+def _draws_sample_parameters(
+    task: SampleTask,
+    draws: ParameterDraws,
+    index: int,
+    loaded_flat_names: list[str],
+) -> tuple[TechnologyParams, dict[str, float]]:
+    """Return sample ``index``'s pre-drawn shifted technology and Vth shifts."""
+    shifted = apply_inter_die(task.technology, draws.inter_die(index))
+    return shifted, dict(zip(loaded_flat_names, draws.intra_vth(index)))
+
+
 def _loaded_flat_names(loaded_circuit) -> list[str]:
     """Return the flattened transistor names of the loaded structure."""
     return [
@@ -181,6 +254,47 @@ def _loaded_flat_names(loaded_circuit) -> list[str]:
     ]
 
 
+def loaded_transistor_count(input_loads: int, output_loads: int) -> int:
+    """Return the intra-die axis count of the Fig. 10 loaded structure.
+
+    One Vth shift per flattened transistor — the Sobol dimension budget of
+    the QMC sampler beyond the four inter-die axes.
+    """
+    return len(_loaded_flat_names(loaded_inverter_cluster(input_loads, output_loads)))
+
+
+def _study_circuits(task: SampleTask):
+    """Return (loaded circuit, unloaded twin, input assignment, flat names)."""
+    loaded_circuit = loaded_inverter_cluster(task.input_loads, task.output_loads)
+    unloaded_circuit = loaded_inverter_cluster(0, 0, name="unloaded_inverter")
+    # The driver input is the complement of the studied inverter's input.
+    assignment = {"in": 1 - task.input_value}
+    return loaded_circuit, unloaded_circuit, assignment, _loaded_flat_names(loaded_circuit)
+
+
+def _simulate_one(
+    task: SampleTask,
+    shifted: TechnologyParams,
+    intra: dict[str, float],
+    circuits,
+) -> MonteCarloSample:
+    """Solve one sample's loaded and unloaded structures through the scalar path."""
+    loaded_circuit, unloaded_circuit, assignment, _ = circuits
+    with_loading, loaded_ok = _solve_target_leakage(
+        loaded_circuit, shifted, assignment, intra, task.temperature_k,
+        task.solver_options, task.on_nonconverged,
+    )
+    without_loading, unloaded_ok = _solve_target_leakage(
+        unloaded_circuit, shifted, assignment, intra, task.temperature_k,
+        task.solver_options, task.on_nonconverged,
+    )
+    return MonteCarloSample(
+        with_loading=with_loading,
+        without_loading=without_loading,
+        converged=loaded_ok and unloaded_ok,
+    )
+
+
 def simulate_sample(task: SampleTask, rng: np.random.Generator) -> MonteCarloSample:
     """Run one Monte-Carlo sample, drawing everything from ``rng``.
 
@@ -188,51 +302,27 @@ def simulate_sample(task: SampleTask, rng: np.random.Generator) -> MonteCarloSam
     :func:`repro.utils.rng.spawn_streams`, so the serial and parallel
     drivers produce bitwise-identical results for the same root seed.
     """
-    loaded_circuit = loaded_inverter_cluster(task.input_loads, task.output_loads)
-    unloaded_circuit = loaded_inverter_cluster(0, 0, name="unloaded_inverter")
-    # The driver input is the complement of the studied inverter's input.
-    assignment = {"in": 1 - task.input_value}
-
-    shifted, intra = _draw_sample_parameters(
-        task, rng, _loaded_flat_names(loaded_circuit)
-    )
-
-    with_loading = _solve_target_leakage(
-        loaded_circuit, shifted, assignment, intra, task.temperature_k,
-        task.solver_options,
-    )
-    without_loading = _solve_target_leakage(
-        unloaded_circuit, shifted, assignment, intra, task.temperature_k,
-        task.solver_options,
-    )
-    return MonteCarloSample(
-        with_loading=with_loading, without_loading=without_loading
-    )
+    circuits = _study_circuits(task)
+    shifted, intra = _draw_sample_parameters(task, rng, circuits[3])
+    return _simulate_one(task, shifted, intra, circuits)
 
 
-def simulate_batch(
-    task: SampleTask, streams: Sequence[np.random.Generator]
+def _solve_parameter_sets(
+    task: SampleTask,
+    parameter_sets: list[tuple[TechnologyParams, dict[str, float]]],
 ) -> list[MonteCarloSample]:
-    """Run one Monte-Carlo sample per stream, solving them as two batches.
+    """Solve a block of pre-drawn parameter sets as two batched DC solves.
 
-    Stream ``i`` is consumed exactly like :func:`simulate_sample` would, so
-    the parameter draws are bitwise-identical to the scalar engine's; the
-    flattened loaded structures of *all* samples then solve as one
-    :class:`~repro.spice.batched.BatchedDcSolver` batch (the unloaded twins
-    as a second one).  Because every per-column update of the batched solver
-    is independent of the other columns, the result is also bitwise-identical
-    however the streams are chunked — which is what lets
-    :class:`repro.engine.parallel.ParallelMonteCarlo` distribute contiguous
-    batches across workers without changing the answer.
+    The shared engine of :func:`simulate_batch` (stream-drawn parameters)
+    and :func:`simulate_batch_from_draws` (Sobol-drawn parameters): every
+    per-column update of the batched solver is independent of the other
+    columns, so the result is bitwise-identical however the parameter sets
+    are chunked across workers.
     """
-    loaded_circuit = loaded_inverter_cluster(task.input_loads, task.output_loads)
-    unloaded_circuit = loaded_inverter_cluster(0, 0, name="unloaded_inverter")
-    assignment = {"in": 1 - task.input_value}
-    names = _loaded_flat_names(loaded_circuit)
+    loaded_circuit, unloaded_circuit, assignment, _ = _study_circuits(task)
 
     loaded_flat, unloaded_flat = [], []
-    for rng in streams:
-        shifted, intra = _draw_sample_parameters(task, rng, names)
+    for shifted, intra in parameter_sets:
         for circuit, flats in (
             (loaded_circuit, loaded_flat),
             (unloaded_circuit, unloaded_flat),
@@ -253,24 +343,97 @@ def simulate_batch(
         )
         if not op.all_converged:
             bad = np.flatnonzero(~op.converged)
-            warnings.warn(
+            _handle_nonconvergence(
+                task.on_nonconverged,
                 f"{bad.size} of {op.batch} Monte-Carlo {label} solves did "
                 f"not converge (worst final voltage update "
                 f"{float(op.max_update[bad].max()):.3e} V)",
-                MonteCarloConvergenceWarning,
-                stacklevel=3,
+                stacklevel=5,
             )
-        return solver.leakage_by_owner(op)[_TARGET_GATE]
+        return solver.leakage_by_owner(op)[_TARGET_GATE], np.asarray(op.converged, bool)
 
-    loaded_leakage = solve_batch(loaded_flat, "loaded-structure")
-    unloaded_leakage = solve_batch(unloaded_flat, "unloaded-structure")
+    loaded_leakage, loaded_ok = solve_batch(loaded_flat, "loaded-structure")
+    unloaded_leakage, unloaded_ok = solve_batch(unloaded_flat, "unloaded-structure")
     return [
         MonteCarloSample(
             with_loading=loaded_leakage.at(index),
             without_loading=unloaded_leakage.at(index),
+            converged=bool(loaded_ok[index] and unloaded_ok[index]),
         )
         for index in range(len(loaded_flat))
     ]
+
+
+def _keep_converged(
+    task: SampleTask, samples: list[MonteCarloSample]
+) -> list[MonteCarloSample]:
+    """Apply the ``"drop"`` policy: exclude non-converged samples."""
+    if task.on_nonconverged != "drop":
+        return samples
+    return [sample for sample in samples if sample.converged]
+
+
+def simulate_batch(
+    task: SampleTask, streams: Sequence[np.random.Generator]
+) -> list[MonteCarloSample]:
+    """Run one Monte-Carlo sample per stream, solving them as two batches.
+
+    Stream ``i`` is consumed exactly like :func:`simulate_sample` would, so
+    the parameter draws are bitwise-identical to the scalar engine's; the
+    flattened loaded structures of *all* samples then solve as one
+    :class:`~repro.spice.batched.BatchedDcSolver` batch (the unloaded twins
+    as a second one).  Because every per-column update of the batched solver
+    is independent of the other columns, the result is also bitwise-identical
+    however the streams are chunked — which is what lets
+    :class:`repro.engine.parallel.ParallelMonteCarlo` distribute contiguous
+    batches across workers without changing the answer.
+    """
+    names = _loaded_flat_names(loaded_inverter_cluster(task.input_loads, task.output_loads))
+    parameter_sets = [
+        _draw_sample_parameters(task, rng, names) for rng in streams
+    ]
+    return _keep_converged(task, _solve_parameter_sets(task, parameter_sets))
+
+
+def simulate_batch_from_draws(
+    task: SampleTask, draws: ParameterDraws
+) -> list[MonteCarloSample]:
+    """Run one sample per pre-drawn parameter row, solving them as two batches.
+
+    The quasi-Monte-Carlo twin of :func:`simulate_batch`: the parameters
+    were drawn up front (:func:`repro.variation.qmc.draw_qmc_parameters`),
+    so workers receive :meth:`~repro.variation.qmc.ParameterDraws.slice`
+    blocks and chunking can never change which parameters a sample gets.
+    """
+    names = _loaded_flat_names(loaded_inverter_cluster(task.input_loads, task.output_loads))
+    if draws.transistor_count != len(names):
+        raise ValueError(
+            f"draws carry {draws.transistor_count} intra-die axes but the "
+            f"loaded structure has {len(names)} transistors"
+        )
+    parameter_sets = [
+        _draws_sample_parameters(task, draws, index, names)
+        for index in range(draws.sample_count)
+    ]
+    return _keep_converged(task, _solve_parameter_sets(task, parameter_sets))
+
+
+def simulate_samples_from_draws(
+    task: SampleTask, draws: ParameterDraws
+) -> list[MonteCarloSample]:
+    """Scalar-engine twin of :func:`simulate_batch_from_draws` (one solve each)."""
+    circuits = _study_circuits(task)
+    names = circuits[3]
+    if draws.transistor_count != len(names):
+        raise ValueError(
+            f"draws carry {draws.transistor_count} intra-die axes but the "
+            f"loaded structure has {len(names)} transistors"
+        )
+    samples = []
+    for index in range(draws.sample_count):
+        shifted, intra = _draws_sample_parameters(task, draws, index, names)
+        samples.append(_simulate_one(task, shifted, intra, circuits))
+    return _keep_converged(task, samples)
 
 
 def _simulate_batch_star(
@@ -278,6 +441,20 @@ def _simulate_batch_star(
 ) -> list[MonteCarloSample]:
     """Process-pool adapter: unpack the (task, stream-chunk) pair."""
     return simulate_batch(*args)
+
+
+def _simulate_draws_batch_star(
+    args: tuple[SampleTask, ParameterDraws]
+) -> list[MonteCarloSample]:
+    """Process-pool adapter: solve one pre-drawn parameter block as a batch."""
+    return simulate_batch_from_draws(*args)
+
+
+def _simulate_draws_scalar_star(
+    args: tuple[SampleTask, ParameterDraws]
+) -> list[MonteCarloSample]:
+    """Process-pool adapter: solve one pre-drawn block sample by sample."""
+    return simulate_samples_from_draws(*args)
 
 
 def build_sample_task(
@@ -288,6 +465,7 @@ def build_sample_task(
     output_loads: int = 6,
     temperature_k: float | None = None,
     solver_options: SolverOptions | None = None,
+    on_nonconverged: str = "warn",
 ) -> SampleTask:
     """Validate the study parameters and return the shared :class:`SampleTask`."""
     if input_value not in (0, 1):
@@ -304,7 +482,18 @@ def build_sample_task(
             technology.temperature_k if temperature_k is None else float(temperature_k)
         ),
         solver_options=solver_options or SolverOptions(),
+        on_nonconverged=_check_policy(on_nonconverged),
     )
+
+
+def _result_metadata(
+    sampler: str, task: SampleTask, requested: int, recorded: int
+) -> dict[str, object]:
+    """Return the provenance metadata of one run (sampler, dropped count)."""
+    metadata: dict[str, object] = {"sampler": sampler}
+    if task.on_nonconverged == "drop":
+        metadata["dropped_nonconverged"] = requested - recorded
+    return metadata
 
 
 def run_loaded_inverter_monte_carlo(
@@ -318,6 +507,8 @@ def run_loaded_inverter_monte_carlo(
     temperature_k: float | None = None,
     solver_options: SolverOptions | None = None,
     engine: str = "batched",
+    sampler: str = "mc",
+    on_nonconverged: str = "warn",
 ) -> MonteCarloResult:
     """Run the Fig. 10 Monte-Carlo study and return the paired samples.
 
@@ -330,7 +521,8 @@ def run_loaded_inverter_monte_carlo(
     samples:
         Number of Monte-Carlo samples (the paper uses 10,000; the default is
         sized for interactive runs and is a parameter precisely so the full
-        count can be reproduced when time allows).
+        count can be reproduced when time allows).  With ``sampler="qmc"``
+        prefer powers of two (Sobol balance).
     input_value:
         Logic value applied to the studied inverter's input (the paper uses
         input '0', output '1').
@@ -340,16 +532,29 @@ def run_loaded_inverter_monte_carlo(
     engine:
         ``"batched"`` (default) solves all samples as two batched DC solves;
         ``"scalar"`` runs the original per-sample reference path.
+    sampler:
+        ``"mc"`` (default) draws pseudo-random parameters from per-sample
+        spawned streams; ``"qmc"`` draws the whole block from a scrambled
+        Sobol sequence seeded through the same root rng (variance-reduced,
+        same marginal distributions).
+    on_nonconverged:
+        ``"warn"`` (default) records non-converged samples and warns;
+        ``"raise"`` errors out; ``"drop"`` excludes them (count reported in
+        ``metadata["dropped_nonconverged"]``).
 
-    Each sample draws from its own ``SeedSequence.spawn``-derived stream
-    (sample ``i`` uses stream ``i``), so the result is bitwise-identical to
-    :class:`repro.engine.parallel.ParallelMonteCarlo` for the same seed and
-    engine.
+    With ``sampler="mc"`` each sample draws from its own
+    ``SeedSequence.spawn``-derived stream (sample ``i`` uses stream ``i``);
+    with ``sampler="qmc"`` the whole parameter block is drawn up front and
+    sliced.  Either way the result is bitwise-identical to
+    :class:`repro.engine.parallel.ParallelMonteCarlo` for the same seed,
+    engine and sampler.
     """
     if samples < 1:
         raise ValueError("samples must be at least 1")
     if engine not in ("batched", "scalar"):
         raise ValueError(f"unknown Monte-Carlo engine {engine!r}")
+    if sampler not in SAMPLERS:
+        raise ValueError(f"unknown sampler {sampler!r}; expected one of {SAMPLERS}")
     task = build_sample_task(
         technology,
         spec=spec,
@@ -358,17 +563,29 @@ def run_loaded_inverter_monte_carlo(
         output_loads=output_loads,
         temperature_k=temperature_k,
         solver_options=solver_options,
+        on_nonconverged=on_nonconverged,
     )
-    result = MonteCarloResult(
+    if sampler == "qmc":
+        draws = draw_qmc_parameters(
+            task.spec, samples, loaded_transistor_count(input_loads, output_loads), rng
+        )
+        if engine == "batched":
+            collected = simulate_batch_from_draws(task, draws)
+        else:
+            collected = simulate_samples_from_draws(task, draws)
+    else:
+        streams = spawn_streams(rng, samples)
+        if engine == "batched":
+            collected = simulate_batch(task, streams)
+        else:
+            collected = _keep_converged(
+                task, [simulate_sample(task, stream) for stream in streams]
+            )
+    return MonteCarloResult(
         spec=task.spec,
         input_value=input_value,
         input_loads=input_loads,
         output_loads=output_loads,
+        samples=collected,
+        metadata=_result_metadata(sampler, task, samples, len(collected)),
     )
-    streams = spawn_streams(rng, samples)
-    if engine == "batched":
-        result.samples.extend(simulate_batch(task, streams))
-    else:
-        for stream in streams:
-            result.samples.append(simulate_sample(task, stream))
-    return result

@@ -5,7 +5,26 @@ loading; Fig. 11 shows how the loading effect shifts the *mean* and the
 *standard deviation* of the total leakage as the inter-die threshold
 variation grows.  These helpers compute exactly those quantities from a
 :class:`~repro.variation.montecarlo.MonteCarloResult` (or from any pair of
-sample arrays).
+sample arrays), plus the yield/percentile estimators the statistical-leakage
+service query is built on:
+
+* :func:`percentile_leakage` — a population percentile (e.g. the
+  99.9th-percentile leakage across process corners) with a bootstrap
+  confidence interval;
+* :func:`yield_fraction` — the fraction of samples at or below a leakage
+  limit, with a bootstrap confidence interval;
+* :func:`equivalent_mc_samples` — how many *plain Monte-Carlo* samples a
+  variance-reduced (e.g. scrambled-Sobol) population is worth, measured
+  from replicate scatter against a bootstrap proxy of the MC error at the
+  same budget;
+* :func:`lognormal_shift_of_mean` / :func:`lognormal_shift_of_std` — the
+  variance-reduced plug-in versions of the Fig. 11 shift statistics
+  (moment-matched lognormal estimates built from light-tailed log-domain
+  averages, which is also where scrambled-Sobol sampling pays off most).
+
+Every bootstrap draw goes through :func:`repro.utils.rng.ensure_rng`
+(explicit seed or generator, never global state), so estimates are
+reproducible.
 """
 
 from __future__ import annotations
@@ -13,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -69,28 +90,313 @@ def histogram(
     return counts, edges
 
 
-def _percent_change(loaded: float, unloaded: float) -> float:
+def _percent_change(loaded: float, unloaded: float, statistic: str) -> float:
+    """Return the percent change of ``loaded`` vs ``unloaded`` — guarded.
+
+    A zero (or effectively-zero) unloaded statistic has no defined percent
+    change.  Two cases are distinguished instead of silently returning 0 %
+    or letting ``inf``/``nan`` flow into :class:`Fig11Result` (the
+    ``core/loading._percent`` idiom):
+
+    * both zero — the statistic does not exist in this configuration; the
+      shift is reported as exactly ``0.0``;
+    * nonzero over (near-)zero — the percent change is genuinely
+      undefined (the division is infinite or non-finite); raise, naming
+      the statistic.
+    """
     if unloaded == 0.0:
-        return 0.0
-    return 100.0 * (loaded - unloaded) / unloaded
+        if loaded == 0.0:
+            return 0.0
+        raise ValueError(
+            f"loading shift of the {statistic} is undefined: the "
+            f"unloaded-population {statistic} is zero while the loaded "
+            f"{statistic} is {loaded:.3e}"
+        )
+    shift = 100.0 * (loaded - unloaded) / unloaded
+    if not np.isfinite(shift):
+        raise ValueError(
+            f"loading shift of the {statistic} is not finite: loaded "
+            f"{statistic} {loaded:.3e} over unloaded {statistic} "
+            f"{unloaded:.3e}"
+        )
+    return shift
+
+
+def _checked_populations(
+    loaded: np.ndarray, unloaded: np.ndarray, statistic: str
+) -> tuple[np.ndarray, np.ndarray]:
+    loaded = np.asarray(loaded, dtype=float)
+    unloaded = np.asarray(unloaded, dtype=float)
+    if loaded.size == 0 or unloaded.size == 0:
+        raise ValueError(
+            f"cannot compute the loading shift of the {statistic} of an "
+            f"empty population ({loaded.size} loaded / {unloaded.size} "
+            f"unloaded samples)"
+        )
+    return loaded, unloaded
 
 
 def loading_shift_of_mean(loaded: np.ndarray, unloaded: np.ndarray) -> float:
     """Return the loading-induced change of the distribution mean, in percent.
 
-    This is the left panel of Fig. 11 ("LDALL - Mean of Leakage").
+    This is the left panel of Fig. 11 ("LDALL - Mean of Leakage").  Raises
+    ``ValueError`` for empty populations and for a zero unloaded mean under
+    a nonzero loaded one (see :func:`_percent_change`).
     """
-    return _percent_change(float(np.mean(loaded)), float(np.mean(unloaded)))
+    loaded, unloaded = _checked_populations(loaded, unloaded, "mean")
+    return _percent_change(float(np.mean(loaded)), float(np.mean(unloaded)), "mean")
 
 
 def loading_shift_of_std(loaded: np.ndarray, unloaded: np.ndarray) -> float:
     """Return the loading-induced change of the standard deviation, in percent.
 
     This is the right panel of Fig. 11 ("LDALL - STD of Leakage"); the paper
-    reports increases above 40 % at sigma_Vt(inter) = 50 mV.
+    reports increases above 40 % at sigma_Vt(inter) = 50 mV.  Raises
+    ``ValueError`` for empty populations and for a zero unloaded std under a
+    nonzero loaded one (a single-sample or constant unloaded population has
+    std 0.0, which used to silently report a 0 % shift).
     """
-    loaded = np.asarray(loaded, dtype=float)
-    unloaded = np.asarray(unloaded, dtype=float)
+    loaded, unloaded = _checked_populations(loaded, unloaded, "std")
     std_loaded = float(loaded.std(ddof=1)) if loaded.size > 1 else 0.0
     std_unloaded = float(unloaded.std(ddof=1)) if unloaded.size > 1 else 0.0
-    return _percent_change(std_loaded, std_unloaded)
+    return _percent_change(std_loaded, std_unloaded, "std")
+
+
+# --------------------------------------------------------------------- #
+# lognormal moment-matched (plug-in) estimators
+# --------------------------------------------------------------------- #
+def _log_moments(values: np.ndarray, statistic: str) -> tuple[float, float]:
+    if np.any(values <= 0.0):
+        raise ValueError(
+            f"lognormal {statistic} estimator needs strictly positive "
+            "samples (leakage currents); got a non-positive value"
+        )
+    logs = np.log(values)
+    sigma = float(logs.std(ddof=1)) if logs.size > 1 else 0.0
+    return float(logs.mean()), sigma
+
+
+def lognormal_mean(values: np.ndarray) -> float:
+    """Return the moment-matched lognormal estimate of the mean.
+
+    Fits ``(mu, sigma)`` to the log-samples and returns the implied
+    lognormal mean ``exp(mu + sigma**2 / 2)``.  For the heavy-tailed
+    leakage populations of the variation study, the log-moments are
+    light-tailed averages — both far less noisy than the direct sample
+    mean at small budgets and far better suited to scrambled-Sobol
+    sampling, which is what makes this the variance-reduced estimator
+    behind :func:`lognormal_shift_of_mean` / :func:`lognormal_shift_of_std`.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot estimate the lognormal mean of an empty sample set")
+    mu, sigma = _log_moments(values, "mean")
+    return float(np.exp(mu + sigma**2 / 2.0))
+
+
+def lognormal_std(values: np.ndarray) -> float:
+    """Return the moment-matched lognormal estimate of the standard deviation.
+
+    ``exp(mu + sigma**2/2) * sqrt(expm1(sigma**2))`` with ``(mu, sigma)``
+    fitted to the log-samples.  Unlike the empirical ``std`` — whose error
+    is dominated by the handful of extreme corners a small sample happens
+    to contain — this plug-in estimate is a smooth function of two
+    light-tailed averages, so its sampling error shrinks dramatically and
+    scrambled-Sobol sampling reduces it further (see
+    ``benchmarks/bench_statistical_leakage.py`` for the measured factors).
+    The price is a model-bias floor when the population is not exactly
+    lognormal; the benchmark records that bias against a large-sample
+    empirical reference.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot estimate the lognormal std of an empty sample set")
+    mu, sigma = _log_moments(values, "std")
+    return float(np.exp(mu + sigma**2 / 2.0) * np.sqrt(np.expm1(sigma**2)))
+
+
+def lognormal_shift_of_mean(loaded: np.ndarray, unloaded: np.ndarray) -> float:
+    """Variance-reduced Fig. 11 mean shift via lognormal moment matching."""
+    loaded, unloaded = _checked_populations(loaded, unloaded, "mean")
+    return _percent_change(lognormal_mean(loaded), lognormal_mean(unloaded), "mean")
+
+
+def lognormal_shift_of_std(loaded: np.ndarray, unloaded: np.ndarray) -> float:
+    """Variance-reduced Fig. 11 std shift via lognormal moment matching.
+
+    The percent change of :func:`lognormal_std` between the loaded and
+    unloaded populations.  Because both plug-in stds are smooth functions
+    of log-domain averages evaluated on the *same* parameter draws, their
+    errors are strongly correlated and largely cancel in the ratio —
+    replicate scatter several times below the empirical
+    :func:`loading_shift_of_std` at equal sample budget, and QMC-friendly.
+    """
+    loaded, unloaded = _checked_populations(loaded, unloaded, "std")
+    return _percent_change(lognormal_std(loaded), lognormal_std(unloaded), "std")
+
+
+# --------------------------------------------------------------------- #
+# yield / percentile estimators
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PercentileEstimate:
+    """A population percentile with its bootstrap confidence interval."""
+
+    percentile: float
+    value: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    sample_count: int
+    bootstrap_count: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the estimate as a plain dictionary."""
+        return {
+            "percentile": self.percentile,
+            "value": self.value,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+            "sample_count": float(self.sample_count),
+            "bootstrap_count": float(self.bootstrap_count),
+        }
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """The fraction of samples at or below a limit, with a bootstrap CI."""
+
+    limit: float
+    fraction: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    sample_count: int
+    bootstrap_count: int
+
+
+def _bootstrap_interval(
+    statistics: np.ndarray, confidence: float
+) -> tuple[float, float]:
+    """Return the percentile-method CI from a bootstrap statistic sample."""
+    alpha = 100.0 * (1.0 - confidence) / 2.0
+    return (
+        float(np.percentile(statistics, alpha)),
+        float(np.percentile(statistics, 100.0 - alpha)),
+    )
+
+
+def _validate_bootstrap(values: np.ndarray, confidence: float, bootstrap: int):
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot estimate from an empty sample set")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if bootstrap < 1:
+        raise ValueError("bootstrap must be at least 1")
+    return values
+
+
+def percentile_leakage(
+    values: np.ndarray,
+    percentile: float,
+    confidence: float = 0.95,
+    bootstrap: int = 500,
+    rng: RngLike = 0,
+) -> PercentileEstimate:
+    """Estimate a leakage percentile with a bootstrap confidence interval.
+
+    ``percentile`` is in percent (99.9 = the 99.9th percentile).  The CI is
+    the percentile-method interval over ``bootstrap`` iid resamples of the
+    population; ``rng`` seeds the resampling (default 0, reproducible).
+    """
+    values = _validate_bootstrap(values, confidence, bootstrap)
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    generator = ensure_rng(rng)
+    indices = generator.integers(0, values.size, size=(bootstrap, values.size))
+    resampled = np.percentile(values[indices], percentile, axis=1)
+    low, high = _bootstrap_interval(resampled, confidence)
+    return PercentileEstimate(
+        percentile=float(percentile),
+        value=float(np.percentile(values, percentile)),
+        ci_low=low,
+        ci_high=high,
+        confidence=float(confidence),
+        sample_count=int(values.size),
+        bootstrap_count=int(bootstrap),
+    )
+
+
+def yield_fraction(
+    values: np.ndarray,
+    limit: float,
+    confidence: float = 0.95,
+    bootstrap: int = 500,
+    rng: RngLike = 0,
+) -> YieldEstimate:
+    """Estimate the fraction of samples at or below ``limit`` (the yield).
+
+    The yield of a leakage-constrained design point: samples with total
+    leakage at or below the budget pass.  The CI is the percentile-method
+    bootstrap interval, like :func:`percentile_leakage`.
+    """
+    values = _validate_bootstrap(values, confidence, bootstrap)
+    generator = ensure_rng(rng)
+    passing = (values <= float(limit)).astype(float)
+    indices = generator.integers(0, values.size, size=(bootstrap, values.size))
+    resampled = passing[indices].mean(axis=1)
+    low, high = _bootstrap_interval(resampled, confidence)
+    return YieldEstimate(
+        limit=float(limit),
+        fraction=float(passing.mean()),
+        ci_low=low,
+        ci_high=high,
+        confidence=float(confidence),
+        sample_count=int(values.size),
+        bootstrap_count=int(bootstrap),
+    )
+
+
+def equivalent_mc_samples(
+    pooled: np.ndarray,
+    replicate_statistics: np.ndarray,
+    statistic=np.mean,
+    bootstrap: int = 200,
+    rng: RngLike = 0,
+) -> float:
+    """Return the plain-MC sample count a variance-reduced population is worth.
+
+    ``pooled`` is the full variance-reduced population (all replicates
+    concatenated, total budget ``N``); ``replicate_statistics`` holds the
+    statistic evaluated on each of the ``K`` independent replicates (e.g.
+    independently scrambled Sobol blocks of ``N/K`` samples each).  Two
+    error estimates at the same total budget are compared:
+
+    * the *replicate* standard error of the pooled estimate,
+      ``std(replicate_statistics, ddof=1) / sqrt(K)`` — the standard
+      randomized-QMC error estimate;
+    * the *bootstrap* standard error of a plain-MC run of size ``N``,
+      estimated by iid resampling of the pooled population.
+
+    The equivalent sample count is ``N * (se_mc / se_replicate)**2`` — the
+    plain-MC budget that would match the variance-reduced error.  For a
+    plain-MC population the ratio is ~1 and the function returns ~``N``.
+    Returns ``inf`` when the replicate scatter is exactly zero (a constant
+    statistic).
+    """
+    pooled = np.asarray(pooled, dtype=float)
+    replicate_statistics = np.asarray(replicate_statistics, dtype=float)
+    if pooled.size == 0:
+        raise ValueError("cannot estimate from an empty pooled population")
+    if replicate_statistics.size < 2:
+        raise ValueError("need at least two replicates to estimate the error")
+    replicates = replicate_statistics.size
+    se_replicate = float(replicate_statistics.std(ddof=1)) / np.sqrt(replicates)
+    generator = ensure_rng(rng)
+    indices = generator.integers(0, pooled.size, size=(bootstrap, pooled.size))
+    se_mc = float(np.std(statistic(pooled[indices], axis=1), ddof=1))
+    if se_replicate == 0.0:
+        return float("inf")
+    return float(pooled.size * (se_mc / se_replicate) ** 2)

@@ -126,6 +126,33 @@ SCHEMAS: dict[str, dict[str, type | tuple]] = {
         "resume.reexecuted_attempts": int,
         "resume.checkpoint_publishes": int,
     },
+    "statistical_leakage.json": {
+        "seed": int,
+        "sigma_vth_inter_v": NUMBER,
+        "samples_per_replicate": int,
+        "replicates": int,
+        "reference_samples": int,
+        "min_efficiency_bar": NUMBER,
+        "reference.std_shift_percent": NUMBER,
+        "reference.lognormal_bias_percent": NUMBER,
+        "std_shift.rmse_mc_empirical": NUMBER,
+        "std_shift.rmse_qmc_empirical": NUMBER,
+        "std_shift.rmse_qmc_lognormal": NUMBER,
+        "std_shift.efficiency_qmc_empirical": NUMBER,
+        "std_shift.efficiency_variance_reduced": NUMBER,
+        "equivalent_mc_samples_log_std": NUMBER,
+        "moments.oracle_samples": int,
+        "moments.method": str,
+        "moments.solve_count": int,
+        "moments.speedup_vs_oracle": NUMBER,
+        "moments.mean_error_bar": NUMBER,
+        "moments.std_error_bar": NUMBER,
+        "moments.loaded_mean_error": NUMBER,
+        "moments.loaded_std_error": NUMBER,
+        "moments.unloaded_mean_error": NUMBER,
+        "moments.unloaded_std_error": NUMBER,
+        "reproducibility.qmc_pool_bitwise": bool,
+    },
     "vector_search.json": {
         "seed": int,
         "engine": str,
